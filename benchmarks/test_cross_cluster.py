@@ -1,0 +1,70 @@
+"""Cross-cluster checks: the paper's per-cluster remarks (§2.2–§4.5).
+
+"Since results are generally similar on all tested clusters, we present
+only results obtained on henri nodes and mention eventual differences"
+— this bench regenerates the central contention figure on every preset
+and asserts both the similarity and the mentioned differences.
+"""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+from repro.hardware import get_preset
+
+CORES_SMALL = [0, 3, 5, 12, 20, 28, 35]
+
+
+def test_fig4b_shape_on_all_clusters(benchmark):
+    """§4.2: 'Results on billy and pyxis nodes are similar to those
+    observed on henri'; bora is impacted later (~20 cores)."""
+    def run():
+        out = {}
+        for preset in ("henri", "billy", "pyxis", "bora"):
+            spec = get_preset(preset)
+            top = spec.n_cores - 1
+            counts = sorted({min(c, top) for c in
+                             [0, 3, 5, 12, 20, 28, 40, top]})
+            out[preset] = E.fig4b(spec=preset, core_counts=counts,
+                                  reps=3)
+        return out
+
+    results = run_once(benchmark, run)
+    for preset, res in results.items():
+        note(benchmark, **{
+            f"{preset}_bw_min_ratio":
+                res.observations["bandwidth_min_ratio"],
+            f"{preset}_impact_from":
+                res.observations["bandwidth_impact_from_cores"],
+        })
+    # Similar shape everywhere: full-machine STREAM costs the network
+    # at least a third of its bandwidth on every cluster.
+    for preset, res in results.items():
+        assert res.observations["bandwidth_min_ratio"] < 0.67, preset
+    # bora's Omni-Path holds out longer than henri's EDR (§4.2:
+    # "impacted, but later: from 20 computing cores").
+    henri_onset = results["henri"].observations[
+        "bandwidth_impact_from_cores"]
+    bora_onset = results["bora"].observations[
+        "bandwidth_impact_from_cores"]
+    assert bora_onset > henri_onset
+
+
+def test_billy_intensity_ridge(benchmark):
+    """§4.5: billy's memory/compute boundary at ~20 flop/B vs henri ~6,
+    and billy's bandwidth recovers later than its latency."""
+    def run():
+        henri = E.fig7b(cursors=[1, 72, 144, 240, 960],
+                        reps=3, elems=2_000_000, sweeps=3)
+        billy = E.fig7b(spec="billy",
+                        cursors=[1, 72, 144, 240, 960],
+                        reps=3, elems=2_000_000, sweeps=3)
+        return henri, billy
+
+    henri, billy = run_once(benchmark, run)
+    note(benchmark,
+         henri_ridge=henri.observations["ridge_flop_per_byte"],
+         billy_ridge=billy.observations["ridge_flop_per_byte"])
+    assert billy.observations["ridge_flop_per_byte"] > \
+        1.5 * henri.observations["ridge_flop_per_byte"]

@@ -1,0 +1,39 @@
+"""Figure 1 — impact of constant core/uncore frequencies (§3.1)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+SIZES = [4, 256, 4096, 65536, 1048576, 16777216, 67108864]
+
+
+def test_fig1a_latency_vs_core_frequency(benchmark):
+    res = run_once(benchmark, E.fig1a, sizes=SIZES, reps=10)
+    hi = res.observations["latency_high_core_s"]
+    lo = res.observations["latency_low_core_s"]
+    note(benchmark,
+         paper_latency_2p3GHz_us=1.8, measured_2p3GHz_us=hi * 1e6,
+         paper_latency_1GHz_us=3.1, measured_1GHz_us=lo * 1e6)
+    # Shape: higher core frequency -> lower latency, by the paper's factor.
+    assert hi < lo
+    assert lo / hi == pytest.approx(3.1 / 1.8, rel=0.15)
+
+
+def test_fig1b_bandwidth_vs_uncore_frequency(benchmark):
+    res = run_once(benchmark, E.fig1b, sizes=SIZES, reps=6)
+    bw_hi = res.observations["bandwidth_uncore_max"]
+    bw_lo = res.observations["bandwidth_uncore_min"]
+    note(benchmark,
+         paper_bw_uncore_max_GBs=10.5, measured_max_GBs=bw_hi / 1e9,
+         paper_bw_uncore_min_GBs=10.1, measured_min_GBs=bw_lo / 1e9)
+    # Shape: small but real uncore effect on asymptotic bandwidth; the
+    # core frequency does not move it.
+    assert bw_hi > bw_lo
+    assert bw_hi / bw_lo == pytest.approx(10.5 / 10.1, abs=0.03)
+    hi_core = "core2.3_uncore2.4"
+    lo_core = "core1.0_uncore2.4"
+    big = max(SIZES)
+    assert res[f"bandwidth_{lo_core}"].at(big) == pytest.approx(
+        res[f"bandwidth_{hi_core}"].at(big), rel=0.02)

@@ -1,0 +1,35 @@
+"""Figure 10 — CG and GEMM on the task runtime (§6)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+WORKERS = (1, 2, 4, 8, 16, 24, 30, 34)
+
+
+def test_fig10_cg_vs_gemm(benchmark):
+    res = run_once(benchmark, E.fig10, worker_counts=WORKERS)
+    obs = res.observations
+    note(benchmark,
+         paper_cg_bw_loss=0.90, measured_cg_bw_loss=obs["cg_bw_loss"],
+         paper_gemm_bw_loss=0.20, measured_gemm_bw_loss=obs["gemm_bw_loss"],
+         paper_cg_stalls=0.70, measured_cg_stalls=obs["cg_stall_max"],
+         paper_gemm_stalls=0.20, measured_gemm_stalls=obs["gemm_stall_max"])
+
+    # The paper's contrast: CG loses most of its sending bandwidth, GEMM
+    # a modest share; CG stalls ~70 % of cycles, GEMM ~20 %.
+    assert obs["cg_bw_loss"] > 0.6
+    assert obs["gemm_bw_loss"] < 0.45
+    assert obs["cg_bw_loss"] - obs["gemm_bw_loss"] > 0.25
+    assert obs["cg_stall_max"] == pytest.approx(0.75, abs=0.15)
+    assert obs["gemm_stall_max"] == pytest.approx(0.25, abs=0.15)
+
+    # Monotone degradation trends with worker count.
+    cg_stalls = res["cg_stall_fraction"].median
+    assert cg_stalls[0] < 0.1 and cg_stalls[-1] > 0.6
+    cg_norm = res["cg_sending_bw_norm"].median
+    assert cg_norm[0] > 0.8 and cg_norm[-1] < 0.4
+    gemm_norm = res["gemm_sending_bw_norm"].median
+    assert gemm_norm[-1] > cg_norm[-1]

@@ -1,0 +1,65 @@
+"""Figures 2 & 3 — frequency variations caused by computations (§3.2–3.3)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+
+def test_fig2_frequency_phases(benchmark):
+    res = run_once(benchmark, E.fig2, n_compute=20, phase_seconds=0.1)
+    obs = res.observations
+    note(benchmark,
+         paper_latency_alone_us=1.7,
+         measured_alone_us=obs["latency_alone_s"] * 1e6,
+         paper_latency_together_us=1.52,
+         measured_together_us=obs["latency_together_s"] * 1e6,
+         idle_core_ghz=obs["compute_core_ghz_B"],
+         busy_core_ghz=obs["compute_core_ghz_C"])
+    # Phase B: idle cores at minimum frequency; phase C: boosted.
+    assert obs["compute_core_ghz_B"] == pytest.approx(1.0, abs=0.1)
+    assert obs["compute_core_ghz_C"] > 2.0
+    # Headline: latency *improves* when computation runs side by side.
+    assert obs["latency_together_s"] < obs["latency_alone_s"]
+    ratio = obs["latency_alone_s"] / obs["latency_together_s"]
+    assert ratio == pytest.approx(1.7 / 1.52, rel=0.1)
+
+
+def test_fig3a_avx_weak_scaling(benchmark):
+    res = run_once(benchmark, E.fig3a,
+                   core_counts=(2, 4, 8, 12, 16, 20), reps=8)
+    d4 = res["compute_alone"].at(4)
+    d20 = res["compute_alone"].at(20)
+    note(benchmark,
+         paper_duration_4cores_ms=135, measured_4cores_ms=d4 * 1e3,
+         paper_duration_20cores_ms=210, measured_20cores_ms=d20 * 1e3)
+    # AVX compute slows itself down as the license frequency drops...
+    assert d4 == pytest.approx(0.135, rel=0.1)
+    assert d20 > 1.15 * d4
+    # ...but never the communications; latency is slightly better together
+    # at every core count (§3.3).
+    for n in (2, 4, 8, 12, 16, 20):
+        assert res["latency_together"].at(n) <= \
+            res["latency_alone"].at(n) * 1.03
+
+
+def test_fig3bc_frequency_traces(benchmark):
+    def both():
+        return (E.fig3bc(n_compute=4, phase_seconds=0.15),
+                E.fig3bc(n_compute=20, phase_seconds=0.25))
+
+    r4, r20 = run_once(benchmark, both)
+    note(benchmark,
+         paper_avx4_ghz=3.0, measured_avx4_ghz=r4.observations["avx_core_ghz"],
+         paper_avx20_ghz=2.3,
+         measured_avx20_ghz=r20.observations["avx_core_ghz"],
+         paper_comm_ghz=2.5,
+         measured_comm4_ghz=r4.observations["comm_core_ghz"],
+         measured_comm20_ghz=r20.observations["comm_core_ghz"])
+    # Fig 3b: 4 AVX cores at ~3 GHz; fig 3c: 20 AVX cores at ~2.3 GHz.
+    assert r4.observations["avx_core_ghz"] == pytest.approx(3.0, abs=0.1)
+    assert r20.observations["avx_core_ghz"] == pytest.approx(2.3, abs=0.15)
+    # The communication core is never dragged down by the AVX license.
+    assert r4.observations["comm_core_ghz"] >= 2.5
+    assert r20.observations["comm_core_ghz"] >= 2.5

@@ -1,0 +1,44 @@
+"""Figure 4 — memory-bound computations vs network performance (§4.2)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+CORES = [0, 1, 2, 3, 5, 8, 12, 17, 20, 23, 26, 29, 32, 35]
+
+
+def test_fig4a_latency_under_stream(benchmark):
+    res = run_once(benchmark, E.fig4a, core_counts=CORES, reps=6)
+    obs = res.observations
+    note(benchmark,
+         paper_impact_from_cores=22,
+         measured_impact_from_cores=obs["comm_impact_from_cores"],
+         paper_latency_max_ratio=2.0,
+         measured_latency_max_ratio=obs["latency_max_ratio"])
+    # Latency impacted only past ~22 computing cores, then ~doubles.
+    assert 20 <= obs["comm_impact_from_cores"] <= 31
+    assert obs["latency_max_ratio"] == pytest.approx(2.0, rel=0.25)
+    # STREAM is NOT impacted by the latency ping-pong (4 B messages).
+    for n in (5, 20, 35):
+        assert res["compute_together"].at(n) == pytest.approx(
+            res["compute_alone"].at(n), rel=0.05)
+
+
+def test_fig4b_bandwidth_under_stream(benchmark):
+    res = run_once(benchmark, E.fig4b, core_counts=CORES, reps=5)
+    obs = res.observations
+    note(benchmark,
+         paper_bw_impact_from_cores=3,
+         measured_bw_impact_from_cores=obs["bandwidth_impact_from_cores"],
+         paper_bw_min_ratio=0.33,
+         measured_bw_min_ratio=obs["bandwidth_min_ratio"])
+    # Bandwidth impacted from very few cores; reduced by ~2/3 at the end.
+    assert obs["bandwidth_impact_from_cores"] <= 5
+    assert obs["bandwidth_min_ratio"] == pytest.approx(1 / 3, abs=0.07)
+    # STREAM loses at most ~25 %, worst at few computing cores.
+    ratios = {n: res["compute_together"].at(n) / res["compute_alone"].at(n)
+              for n in (3, 5, 20, 35)}
+    assert 0.65 < min(ratios.values()) < 0.9
+    assert ratios[35] > ratios[5]  # impact fades at high core counts

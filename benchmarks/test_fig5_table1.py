@@ -1,0 +1,65 @@
+"""Figure 5 & Table 1 — thread and data placement (§4.3)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+CORES = [0, 5, 12, 20, 28, 35]
+
+
+def test_fig5_placement_panels(benchmark):
+    res = run_once(benchmark, E.fig5, core_counts=CORES, reps=4)
+    assert len(res) == 8  # 4 placements x {latency, bandwidth}
+
+    def base_and_worst(key, series="comm_together"):
+        s = res[key][series]
+        return s.median[0], max(s.median)
+
+    # Near-thread latency: mild plateau ("around 2 us").
+    base, worst = base_and_worst("data_near_thread_near_latency")
+    note(benchmark, near_thread_latency_worst_us=worst * 1e6)
+    assert worst < 2.3e-6
+    # Far-thread latency: doubles.
+    base, worst = base_and_worst("data_near_thread_far_latency")
+    note(benchmark, far_thread_latency_worst_us=worst * 1e6)
+    assert worst / base == pytest.approx(2.0, rel=0.25)
+
+    # Bandwidth: far data drops harder than near data.
+    def min_bw_ratio(key):
+        s = res[key]["comm_together"]
+        return min(s.median[0] / m for m in [max(s.median)]) \
+            if False else s.median[0] / max(s.median)
+
+    def bw_ratio(key):
+        lat = res[key]["comm_together"]
+        return lat.median[0] / max(lat.median)  # latency-based ratio
+
+    near = bw_ratio("data_near_thread_far_bandwidth")
+    far = bw_ratio("data_far_thread_far_bandwidth")
+    note(benchmark, near_data_bw_ratio=near, far_data_bw_ratio=far)
+    assert far < near  # far data collapses more abruptly
+
+
+def test_table1_summary(benchmark):
+    res = run_once(benchmark, E.table1, core_counts=CORES, reps=4)
+    rows = {(r["data"], r["comm_thread"]): r for r in res.meta["rows"]}
+    for (data, thread), row in rows.items():
+        note(benchmark, **{
+            f"{data}_{thread}_lat_ratio": row["latency_max_ratio"],
+            f"{data}_{thread}_bw_ratio": row["bandwidth_min_ratio"],
+        })
+    # Table 1's four qualitative cells:
+    # latency: slight (near thread) vs high (far thread)
+    assert rows[("near", "near")]["latency_max_ratio"] < 1.6
+    assert rows[("far", "near")]["latency_max_ratio"] < 1.6
+    assert rows[("near", "far")]["latency_max_ratio"] > 1.7
+    assert rows[("far", "far")]["latency_max_ratio"] > 1.7
+    # latency degradation starts late for far threads
+    assert rows[("near", "far")]["latency_impact_from_cores"] >= 20
+    # bandwidth: steady (near data) vs abrupt (far data)
+    assert rows[("far", "near")]["bandwidth_min_ratio"] < \
+        rows[("near", "near")]["bandwidth_min_ratio"]
+    assert rows[("far", "far")]["bandwidth_min_ratio"] < \
+        rows[("near", "far")]["bandwidth_min_ratio"]

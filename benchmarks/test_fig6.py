@@ -1,0 +1,50 @@
+"""Figure 6 — impact of transmitted data size (§4.4)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+SIZES = [4, 128, 1024, 4096, 65536, 1048576, 16777216, 67108864]
+
+
+def test_fig6a_5_computing_cores(benchmark):
+    res = run_once(benchmark, E.fig6a, sizes=SIZES, reps=4)
+    obs = res.observations
+    note(benchmark,
+         paper_comm_degraded_from="64KB",
+         measured_comm_degraded_from=obs["comm_degraded_from_size"],
+         paper_stream_degraded_from="4KB",
+         measured_stream_degraded_from=obs["stream_degraded_from_size"])
+    # Paper @5 cores: communications degraded from 64 KB ...
+    assert obs["comm_degraded_from_size"] == 65536
+    # ... STREAM impacted from small-ish messages (4 KB in the paper).
+    assert obs["stream_degraded_from_size"] <= 65536
+    # Below 1 KB, no mutual impact at all.
+    for size in (4, 128):
+        assert res["comm_together"].at(size) == pytest.approx(
+            res["comm_alone"].at(size), rel=0.08)
+        assert res["compute_together"].at(size) == pytest.approx(
+            res["compute_alone"].at(size), rel=0.03)
+
+
+def test_fig6b_35_computing_cores(benchmark):
+    res = run_once(benchmark, E.fig6b, sizes=SIZES, reps=4)
+    note(benchmark,
+         paper_comm_degraded_from="128B (all sizes vs fig4a)",
+         measured_comm_degraded_from=res.observations[
+             "comm_degraded_from_size"],
+         measured_stream_degraded_from=res.observations[
+             "stream_degraded_from_size"])
+    # With 35 cores even small messages suffer (the co-location latency
+    # penalty of fig 4a applies at every size).
+    assert res.observations["comm_degraded_from_size"] <= 128
+    # STREAM only notices once messages move real data.
+    assert res.observations["stream_degraded_from_size"] >= 4096
+    # Degradation is worse at 35 cores than at 5 for every size >= 64 KB
+    res5 = E.fig6a(sizes=[65536, 1048576, 67108864], reps=4)
+    for size in (65536, 1048576, 67108864):
+        r35 = res["comm_together"].at(size) / res["comm_alone"].at(size)
+        r5 = res5["comm_together"].at(size) / res5["comm_alone"].at(size)
+        assert r35 < r5 + 0.05

@@ -1,0 +1,57 @@
+"""Figure 7 — tunable arithmetic intensity (§4.5)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+CURSORS = [1, 2, 4, 8, 16, 24, 36, 48, 72, 96, 144, 480]
+
+
+def test_fig7a_latency_vs_intensity(benchmark):
+    res = run_once(benchmark, E.fig7a, cursors=CURSORS, reps=5,
+                   elems=1_000_000)
+    lat = res["comm_together"]
+    alone = res["comm_alone"].median[0]
+    low_ratio = lat.at(1 / 12) / alone       # deep memory-bound
+    high_ratio = lat.at(40) / alone          # deep CPU-bound
+    note(benchmark,
+         paper_low_intensity_latency_ratio=2.0,
+         measured_low_ratio=low_ratio,
+         paper_high_intensity_latency_ratio=1.0,
+         measured_high_ratio=high_ratio,
+         paper_ridge_flopB=6.0,
+         measured_recovery_complete_flopB=res.observations[
+             "ridge_flop_per_byte"])
+    # Memory-bound side: latency ~doubles; CPU-bound side: nominal.
+    assert low_ratio == pytest.approx(2.0, rel=0.25)
+    assert high_ratio < 1.15
+    # Recovery happens around the paper's 6 flop/B boundary: clearly
+    # under way at 6, complete by ~2x that.
+    assert lat.at(6) < 0.8 * lat.at(1 / 12)
+    assert res.observations["ridge_flop_per_byte"] <= 14
+    # Computing duration constant in the memory-bound regime.
+    assert res["compute_together"].at(2) == pytest.approx(
+        res["compute_together"].at(1 / 12), rel=0.03)
+
+
+def test_fig7b_bandwidth_vs_intensity(benchmark):
+    res = run_once(benchmark, E.fig7b,
+                   cursors=[1, 4, 48, 72, 96, 480],
+                   reps=3)
+    bw = res["comm_together_bw"]
+    drop = 1 - bw.at(1 / 12) / bw.at(40)
+    slowdown = res["compute_together"].at(1 / 12) / \
+        res["compute_alone"].at(1 / 12)
+    note(benchmark,
+         paper_bw_drop_below_ridge=0.60, measured_bw_drop=drop,
+         paper_compute_slowdown=1.10, measured_compute_slowdown=slowdown)
+    # Paper: bandwidth drops ~60 % below the ridge; compute slowed ~10 %.
+    assert drop == pytest.approx(0.60, abs=0.12)
+    assert 1.02 < slowdown < 1.35
+    # Above the ridge both recover.
+    assert bw.at(40) == pytest.approx(res["comm_alone_bw"].at(40),
+                                      rel=0.08)
+    assert res["compute_together"].at(40) == pytest.approx(
+        res["compute_alone"].at(40), rel=0.03)

@@ -1,0 +1,37 @@
+"""NetPIPE characterisation of all four cluster presets (§2.2)."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.analysis.netpipe import fit_postal, measure_netpipe, n_half
+from repro.hardware import get_preset
+
+SIZES = [1 << i for i in range(2, 27)]
+
+
+def test_netpipe_all_presets(benchmark):
+    def run():
+        return {p: measure_netpipe(p, sizes=SIZES, reps=6)
+                for p in ("henri", "bora", "billy", "pyxis")}
+
+    curves = run_once(benchmark, run)
+    for preset, curve in curves.items():
+        alpha, beta = fit_postal(
+            curve, min_size=get_preset(preset).nic.eager_threshold * 2)
+        note(benchmark, **{
+            f"{preset}_latency_us": curve.zero_latency * 1e6,
+            f"{preset}_bw_GBs": curve.asymptotic_bandwidth / 1e9,
+            f"{preset}_n_half_KB": n_half(curve) / 1024,
+            f"{preset}_alpha_us": alpha * 1e6,
+        })
+    # §2.2 orderings: HDR (billy) roughly doubles EDR bandwidth; the ARM
+    # stack (pyxis) has the worst latency; all latencies in the µs range.
+    assert curves["billy"].asymptotic_bandwidth > \
+        1.8 * curves["henri"].asymptotic_bandwidth
+    assert curves["pyxis"].zero_latency == max(
+        c.zero_latency for c in curves.values())
+    for curve in curves.values():
+        assert 0.5e-6 < curve.zero_latency < 5e-6
+        # Monotone bandwidth curve with a rendezvous jump somewhere.
+        assert curve.bandwidths[-1] > 100 * curve.bandwidths[0]

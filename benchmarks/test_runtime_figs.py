@@ -1,0 +1,53 @@
+"""§5 — runtime-system impacts: overhead, Figure 8, Figure 9."""
+
+import pytest
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+
+
+def test_runtime_overhead_52(benchmark):
+    def all_clusters():
+        return {preset: E.runtime_overhead(spec=preset, reps=15)
+                for preset in ("henri", "billy", "pyxis")}
+
+    res = run_once(benchmark, all_clusters)
+    measured = {p: r.observations["overhead_s"] * 1e6
+                for p, r in res.items()}
+    note(benchmark,
+         paper_henri_us=38, measured_henri_us=measured["henri"],
+         paper_billy_us=23, measured_billy_us=measured["billy"],
+         paper_pyxis_us=45, measured_pyxis_us=measured["pyxis"])
+    # §5.2's three calibration anchors.
+    assert measured["henri"] == pytest.approx(38, rel=0.2)
+    assert measured["billy"] == pytest.approx(23, rel=0.2)
+    assert measured["pyxis"] == pytest.approx(45, rel=0.2)
+    assert measured["billy"] < measured["henri"] < measured["pyxis"]
+
+
+def test_fig8_data_locality_and_thread_placement(benchmark):
+    res = run_once(benchmark, E.fig8, reps=15)
+    obs = {k: v * 1e6 for k, v in res.observations.items()}
+    note(benchmark, **{k: round(v, 2) for k, v in obs.items()})
+    # The decisive factor is data and comm thread on the SAME NUMA node.
+    matched = (obs["data_near_thread_near_latency_s"],
+               obs["data_far_thread_far_latency_s"])
+    mismatched = (obs["data_near_thread_far_latency_s"],
+                  obs["data_far_thread_near_latency_s"])
+    assert max(matched) < min(mismatched)
+
+
+def test_fig9_worker_polling(benchmark):
+    res = run_once(benchmark, E.fig9,
+                   sizes=[4, 64, 1024, 16384], reps=10)
+    lat = {k: res.observations[f"{k}_latency_4B_s"] * 1e6
+           for k in ("backoff_2", "backoff_32", "backoff_10000", "paused")}
+    note(benchmark, **{k: round(v, 2) for k, v in lat.items()})
+    # Figure 9's ordering: frequent polling hurts; rare polling is
+    # equivalent to paused workers.
+    assert lat["backoff_2"] > lat["backoff_32"] > lat["backoff_10000"]
+    assert lat["backoff_10000"] == pytest.approx(lat["paused"], rel=0.05)
+    # The effect holds across message sizes.
+    for size in (64, 1024, 16384):
+        assert res["backoff_2"].at(size) > res["paused"].at(size)

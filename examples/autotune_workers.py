@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's §8 proposal, implemented: auto-selecting worker counts.
+
+"As future works ... task-based runtime systems could select
+(automatically) the optimal number of workers which reduces memory
+contention and maximizes performances for the whole program execution."
+
+Runs the §6 conjugate gradient twice — once with all 34 workers pinned
+on, once under the stall-band autotuner — and compares execution time,
+sending bandwidth and memory stalls.  The tuner sheds the workers whose
+cycles were pure memory-queueing, freeing the communication path at no
+compute cost.
+
+Run:  python examples/autotune_workers.py
+"""
+
+from repro.core.report import render_table
+from repro.runtime.apps import run_cg
+
+
+def main() -> None:
+    fixed = run_cg(n_workers=34, iterations=4)
+    tuned = run_cg(n_workers=34, iterations=4, autotune=True)
+
+    rows = [
+        ["duration", f"{fixed.duration*1e3:.0f} ms",
+         f"{tuned.duration*1e3:.0f} ms"],
+        ["sending bandwidth", f"{fixed.sending_bandwidth/1e9:.2f} GB/s",
+         f"{tuned.sending_bandwidth/1e9:.2f} GB/s"],
+        ["memory stalls", f"{fixed.stall_fraction*100:.0f}%",
+         f"{tuned.stall_fraction*100:.0f}%"],
+    ]
+    print("CG on 2 nodes, 34 workers available:")
+    print(render_table(["metric", "fixed 34 workers", "autotuned"], rows))
+    print(
+        f"\nThe autotuner pauses workers whose cycles are pure memory\n"
+        f"queueing (contention stalls), so communications gain "
+        f"{(tuned.sending_bandwidth/fixed.sending_bandwidth-1)*100:.0f}% "
+        f"bandwidth\nwhile the computation finishes in the same time "
+        f"({tuned.duration/fixed.duration:.2f}x).")
+
+
+if __name__ == "__main__":
+    main()

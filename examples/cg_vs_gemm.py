@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Real kernels: CG vs GEMM communication penalty (§6, Figure 10).
+
+Runs distributed dense conjugate gradient and tiled GEMM on two simulated
+nodes, sweeping the number of workers, and reports the sending bandwidth
+(the §6 profiling metric) next to the fraction of cycles stalled on
+memory — reproducing the paper's contrast: memory-bound CG loses up to
+~90 % of its communication performance, compute-bound GEMM only ~20 %.
+
+Run:  python examples/cg_vs_gemm.py
+"""
+
+from repro.core.report import render_table
+from repro.runtime.apps import run_cg, run_gemm
+
+
+def main() -> None:
+    worker_counts = [1, 4, 8, 16, 24, 34]
+    rows = []
+    cg_peak = gemm_peak = 0.0
+    results = []
+    for nw in worker_counts:
+        cg = run_cg(n_workers=nw)
+        gemm = run_gemm(n_workers=nw)
+        cg_peak = max(cg_peak, cg.sending_bandwidth)
+        gemm_peak = max(gemm_peak, gemm.sending_bandwidth)
+        results.append((nw, cg, gemm))
+
+    for nw, cg, gemm in results:
+        rows.append([
+            nw,
+            f"{cg.sending_bandwidth / cg_peak:.2f}",
+            f"{cg.stall_fraction * 100:.0f}%",
+            f"{gemm.sending_bandwidth / gemm_peak:.2f}",
+            f"{gemm.stall_fraction * 100:.0f}%",
+        ])
+    print("Figure 10 — normalized sending bandwidth and memory stalls")
+    print(render_table(
+        ["workers", "CG send bw", "CG stalls", "GEMM send bw",
+         "GEMM stalls"], rows))
+
+    _, cg, gemm = results[-1]
+    print(f"\nAt full worker count: CG loses "
+          f"{(1 - cg.sending_bandwidth / cg_peak) * 100:.0f}% of its "
+          f"sending bandwidth ({cg.stall_fraction*100:.0f}% memory "
+          f"stalls); GEMM loses "
+          f"{(1 - gemm.sending_bandwidth / gemm_peak) * 100:.0f}% "
+          f"({gemm.stall_fraction*100:.0f}% stalls).")
+    print("Paper: up to 90% loss for CG (70% stalls) vs ~20% for GEMM "
+          "(20% stalls).")
+
+
+if __name__ == "__main__":
+    main()

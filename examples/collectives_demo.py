@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Collectives under interference (extension beyond the paper's scope).
+
+The paper restricts itself to point-to-point ping-pongs; this example
+asks its §4 question of *collective* operations: how much slower does an
+allreduce get when every node also runs STREAM?
+
+Run:  python examples/collectives_demo.py
+"""
+
+from repro.core.report import render_table
+from repro.hardware import Cluster
+from repro.kernels import run_kernel, triad_kernel
+from repro.mpi import CommWorld
+from repro.mpi.collectives import CollectiveContext
+
+
+def run_case(op: str, size: int, n_nodes: int, stream_cores: int):
+    world = CommWorld(Cluster("henri", n_nodes), comm_placement="near")
+    ctx = CollectiveContext(world)
+    runs = []
+    for machine in world.cluster.machines:
+        for core in range(stream_cores):
+            runs.append(run_kernel(machine, core, triad_kernel(),
+                                   data_numa=0, sweeps=None))
+    record = ctx.run(op, size=size) if op == "allreduce" \
+        else ctx.run(op, root=0, size=size)
+    for r in runs:
+        r.request_stop()
+    world.sim.run()
+    return record
+
+
+def main() -> None:
+    rows = []
+    for op in ("bcast", "reduce", "allreduce"):
+        for size in (1024, 8 << 20):
+            quiet = run_case(op, size, n_nodes=4, stream_cores=0)
+            loud = run_case(op, size, n_nodes=4, stream_cores=12)
+            rows.append([
+                op, f"{size} B", quiet.algorithm,
+                f"{quiet.duration*1e6:.1f} us",
+                f"{loud.duration*1e6:.1f} us",
+                f"{loud.duration/quiet.duration:.2f}x",
+            ])
+    print("Collectives on 4 henri nodes, idle vs 12 STREAM cores/node:")
+    print(render_table(
+        ["op", "size", "algorithm", "idle", "contended", "slowdown"],
+        rows))
+    print("\nLarge collectives inherit the paper's §4 memory-contention "
+          "penalty on every constituent transfer; small ones barely "
+          "notice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""GPU data movements vs communications and computations (§8 future work).
+
+The paper's closing sentence promises to study "the impact of data
+movements between main memory and GPUs".  This example runs that study
+on the simulator: V100-class GPUs attached to each node shuttle data
+over PCIe while (a) a ping-pong measures the network and (b) STREAM
+cores load the memory bus.
+
+Run:  python examples/gpu_transfers.py
+"""
+
+from repro.core.gpu_experiments import gpu_vs_network, gpu_vs_stream
+from repro.core.report import render_table
+
+
+def main() -> None:
+    # --- GPU traffic vs the network --------------------------------------
+    res = gpu_vs_network(reps=8)
+    lat = res["latency"]
+    bw = res["bandwidth"]
+    size = 64 << 20
+    rows = [
+        ["latency (4B)", f"{lat.at(0)*1e6:.2f} us",
+         f"{lat.at(1)*1e6:.2f} us"],
+        ["bandwidth (64MB)", f"{size/bw.at(0)/1e9:.2f} GB/s",
+         f"{size/bw.at(1)/1e9:.2f} GB/s"],
+    ]
+    print("Network beside 20 STREAM cores, without/with H2D memcpy "
+          "streams:")
+    print(render_table(["metric", "no GPU traffic", "GPU traffic"], rows))
+    print(f"  memcpy sustains "
+          f"{res.observations['memcpy_bw_during_bandwidth']/1e9:.2f} GB/s "
+          "during the bandwidth test\n")
+
+    # --- STREAM vs GPU transfers ---------------------------------------
+    res = gpu_vs_stream(core_counts=[0, 2, 4, 8, 12, 17])
+    rows = [[int(n), f"{v/1e9:.2f} GB/s"]
+            for n, v in zip(res["memcpy_bw"].x, res["memcpy_bw"].median)]
+    print("Host->GPU copy bandwidth vs STREAM cores on the host:")
+    print(render_table(["STREAM cores", "memcpy bandwidth"], rows))
+    loss = (1 - res.observations["memcpy_bw_min_ratio"]) * 100
+    print(f"\nThe GPU link starves exactly like the NIC does (fig 4b): "
+          f"up to {loss:.0f}% of PCIe bandwidth lost to memory "
+          "contention.")
+
+
+if __name__ == "__main__":
+    main()

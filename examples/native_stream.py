@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Run the real STREAM kernels on *this* machine (no simulation).
+
+A live reference point: measures NumPy COPY/TRIAD bandwidth on the host
+and compares the tunable-TRIAD idea (§4.5) outside the simulator.  Use
+it to sanity-check the simulator's memory-bandwidth presets against the
+hardware you are on.
+
+Run:  python examples/native_stream.py [--elems N]
+"""
+
+import argparse
+
+from repro.core.report import render_table
+from repro.kernels.native import run_native_stream
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--elems", type=int, default=20_000_000,
+                        help="array elements (default 20M = 160 MB/array)")
+    parser.add_argument("--iterations", type=int, default=5)
+    args = parser.parse_args()
+
+    rows = []
+    for kernel in ("copy", "triad"):
+        res = run_native_stream(kernel, elems=args.elems,
+                                iterations=args.iterations)
+        rows.append([kernel, f"{res.bandwidth / 1e9:.2f} GB/s"])
+    for cursor in (1, 4, 16):
+        res = run_native_stream("tunable_triad", elems=args.elems,
+                                iterations=args.iterations, cursor=cursor)
+        rows.append([f"tunable_triad(cursor={cursor})",
+                     f"{res.bandwidth / 1e9:.2f} GB/s"])
+    print("Host-native STREAM (single thread, NumPy):")
+    print(render_table(["kernel", "bandwidth"], rows))
+    print("\nCompare with the simulator's henri preset: "
+          "13 GB/s per core, 52 GB/s per NUMA controller.")
+
+
+if __name__ == "__main__":
+    main()

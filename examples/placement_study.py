@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Placement study: reproduce the paper's Table 1 (§4.3).
+
+Sweeps all four (data, communication thread) x (near, far from the NIC)
+placements and prints how latency and bandwidth degrade as computing
+cores are added — showing that a far comm thread suffers late-but-badly
+on latency, and far data makes bandwidth collapse abruptly.
+
+Run:  python examples/placement_study.py [--full]
+"""
+
+import argparse
+
+from repro.core import experiments as E
+from repro.core.report import render_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--full", action="store_true",
+                        help="full core sweep (slower, smoother numbers)")
+    args = parser.parse_args()
+
+    core_counts = None if args.full else [0, 3, 5, 12, 20, 28, 35]
+    reps = 8 if args.full else 5
+
+    result = E.table1(core_counts=core_counts, reps=reps)
+    rows = []
+    for row in result.meta["rows"]:
+        impact = row["latency_impact_from_cores"]
+        rows.append([
+            row["data"], row["comm_thread"],
+            "never" if impact is None else f"{impact:.0f} cores",
+            f'{row["latency_max_ratio"]:.2f}x',
+            f'{(1 - row["bandwidth_min_ratio"]) * 100:.0f}%',
+        ])
+    print("Table 1 — impact of data and communication-thread placement")
+    print(render_table(
+        ["data", "comm thread", "latency impacted from",
+         "latency worst", "bandwidth worst loss"], rows))
+    print(
+        "\nPaper's reading: near comm threads degrade early but mildly\n"
+        "(plateau around 2 us); far comm threads degrade only once\n"
+        "computing threads reach their socket, but then latency doubles.\n"
+        "Far data makes the bandwidth drop abrupt instead of steady.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Predicting interference without running anything (§8 future work).
+
+"As future works, we would like to better understand origins of these
+interferences to predict and quantify them."
+
+Given your application's arithmetic intensity and core count, the
+closed-form predictor estimates how much communication performance you
+will lose — and the script cross-checks a few points against the full
+simulation.
+
+Run:  python examples/predict_interference.py
+"""
+
+from repro.analysis.prediction import predict_interference
+from repro.core.report import render_table
+from repro.kernels.blas import gemv_tile_cost
+from repro.kernels.extra import dgemm_kernel, spmv_kernel, stencil_kernel
+from repro.kernels.stream import triad_kernel
+
+
+def main() -> None:
+    apps = [
+        ("SpMV (CSR)", spmv_kernel().intensity, False),
+        ("STREAM TRIAD", triad_kernel().intensity, False),
+        ("7-pt stencil (blocked)", stencil_kernel().intensity, False),
+        ("dense GEMV (CG)", gemv_tile_cost(1000, 1000).intensity, True),
+        ("blocked DGEMM", dgemm_kernel().intensity, True),
+    ]
+    rows = []
+    for name, intensity, vector in apps:
+        p = predict_interference("henri", n_cores=35,
+                                 intensity=intensity, vector=vector)
+        rows.append([
+            name, f"{intensity:.2f}",
+            f"x{p.latency_ratio:.2f}",
+            f"-{(1 - p.bandwidth_ratio) * 100:.0f}%",
+            f"x{p.compute_slowdown:.2f}",
+        ])
+    print("Predicted interference at 35 computing cores (henri):")
+    print(render_table(
+        ["application", "flop/B", "latency", "net bandwidth",
+         "compute slowdown"], rows))
+
+    # Cross-check one point against the full simulation.
+    from repro.core import experiments as E
+    sim = E.fig4b(core_counts=[0, 35], reps=3)
+    simulated = (sim["comm_together_bw"].at(35)
+                 / sim["comm_together_bw"].at(0))
+    predicted = predict_interference("henri", 35).bandwidth_ratio
+    print(f"\ncross-check (TRIAD, 35 cores, 64MB): predicted bandwidth "
+          f"ratio {predicted:.2f}, simulated {simulated:.2f}")
+
+
+if __name__ == "__main__":
+    main()

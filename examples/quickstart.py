@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: measure communication/computation interference in 30 lines.
+
+Builds a two-node `henri` cluster (dual Xeon, 4 NUMA nodes, InfiniBand
+EDR), measures ping-pong latency and bandwidth alone, then repeats the
+measurement while STREAM TRIAD hammers the memory bus from every core —
+the headline experiment of the paper (§4.2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Cluster, CommWorld, PingPong, SideBySideConfig, run_throughput_protocol,
+)
+from repro.core.placement import Placement
+from repro.mpi.pingpong import BANDWIDTH_SIZE, LATENCY_SIZE
+
+
+def main() -> None:
+    # --- 1. A clean ping-pong, nothing else running -----------------------
+    cluster = Cluster("henri", n_nodes=2)
+    world = CommWorld(cluster, comm_placement="near")
+    pingpong = PingPong(world)
+
+    lat = pingpong.run(LATENCY_SIZE, reps=30)
+    bw = pingpong.run(BANDWIDTH_SIZE, reps=5)
+    print("idle machine:")
+    print(f"  latency   : {lat.median_latency * 1e6:6.2f} us")
+    print(f"  bandwidth : {bw.bandwidth / 1e9:6.2f} GB/s")
+
+    # --- 2. Same measurement with 35 STREAM cores per node ----------------
+    for size, label in ((LATENCY_SIZE, "latency"),
+                        (BANDWIDTH_SIZE, "bandwidth")):
+        cfg = SideBySideConfig(
+            spec="henri",
+            n_compute_cores=35,
+            placement=Placement(data="near", comm_thread="far"),
+            message_size=size,
+            reps=8,
+        )
+        out = run_throughput_protocol(cfg)
+        alone = out.comm_alone.median_latency
+        together = out.comm_together.median_latency
+        print(f"\n35 STREAM cores per node ({label} ping-pong):")
+        if size == LATENCY_SIZE:
+            print(f"  latency alone    : {alone * 1e6:6.2f} us")
+            print(f"  latency together : {together * 1e6:6.2f} us "
+                  f"({together / alone:.1f}x)")
+        else:
+            print(f"  bandwidth alone    : {size / alone / 1e9:6.2f} GB/s")
+            print(f"  bandwidth together : {size / together / 1e9:6.2f} "
+                  f"GB/s ({size / together / (size / alone) * 100:.0f}% "
+                  "of nominal)")
+        print(f"  STREAM per core  : "
+              f"{out.compute_alone_bw / 1e9:.2f} GB/s alone -> "
+              f"{out.compute_together_bw / 1e9:.2f} GB/s together")
+
+
+if __name__ == "__main__":
+    main()

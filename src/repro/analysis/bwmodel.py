@@ -1,0 +1,114 @@
+"""Closed-form memory-bandwidth sharing model (Langguth et al. style).
+
+The paper's related work cites Langguth, Cai & Sourouri's theoretical
+model of memory-bandwidth sharing between computing and communicating
+threads [12].  This module provides the analogous closed form for this
+simulator's arbitration — weighted max-min with demand caps and usage
+multipliers — specialised to the canonical §4.2 scenario: ``n`` STREAM
+cores and one NIC DMA flow sharing a single memory controller.
+
+It serves two purposes:
+
+* an **independent validation** of the fluid engine: the simulation must
+  agree with the algebra (see ``tests/test_analysis_bwmodel.py``);
+* a **fast predictor** for sweeps (no event loop), e.g. to pre-compute
+  where contention regimes begin before running the full benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.hardware.presets import MachineSpec, get_preset
+
+__all__ = ["SharePrediction", "predict_stream_vs_dma", "predict_fig4b"]
+
+
+@dataclass(frozen=True)
+class SharePrediction:
+    """Closed-form allocation for n STREAM cores + one DMA flow."""
+
+    n_cores: int
+    stream_per_core: float    # bytes/s each computing core achieves
+    nic_rate: float           # payload bytes/s of the DMA flow
+    controller_saturated: bool
+    nic_demand_limited: bool
+
+
+def _dma_demand(spec: MachineSpec, rho_other: float) -> float:
+    """NIC demand after latency-sensitivity de-rating at load rho."""
+    nic = spec.nic
+    rho = min(1.0, max(0.0, rho_other))
+    eff = 1.0 - nic.dma_eff_gamma * rho ** nic.dma_eff_power
+    return nic.wire_bw * max(eff, 0.05)
+
+
+def predict_stream_vs_dma(spec: MachineSpec | str, n_cores: int,
+                          capacity: float = None) -> SharePrediction:
+    """Solve the single-controller max-min allocation analytically.
+
+    Flows: ``n_cores`` streams with demand ``per_core_bw``, weight 1,
+    usage 1; one DMA flow with demand ``wire_bw × efficiency(ρ)``,
+    weight ``dma_weight``, usage ``dma_usage``.
+
+    Cases (progressive filling):
+
+    1. everything fits: each flow at its demand;
+    2. NIC demand-limited at the water level: NIC at demand, cores share
+       the rest equally (capped at per-core demand);
+    3. all bottlenecked: level ``u = C / (n + w·β)``; cores get ``u``,
+       NIC gets ``w·u``.
+    """
+    s = get_preset(spec) if isinstance(spec, str) else spec
+    C = capacity if capacity is not None else s.memory.controller_bw
+    d_core = s.memory.per_core_bw
+    w = s.nic.dma_weight
+    beta = s.nic.dma_usage
+
+    rho_other = min(1.0, n_cores * d_core / C)
+    d_nic = _dma_demand(s, rho_other)
+
+    if n_cores == 0:
+        nic = min(d_nic, C / beta)
+        return SharePrediction(0, 0.0, nic, nic * beta >= C * (1 - 1e-9),
+                               nic >= d_nic * (1 - 1e-9))
+
+    total_usage = n_cores * d_core + beta * d_nic
+    if total_usage <= C:
+        # Case 1: no contention.
+        return SharePrediction(n_cores, d_core, d_nic, False, True)
+
+    # Water level if nothing is demand-limited.
+    u_full = C / (n_cores + w * beta)
+    if w * u_full >= d_nic:
+        # Case 2: NIC pinned at demand, cores split the remainder.
+        leftover = C - beta * d_nic
+        per_core = min(d_core, leftover / n_cores)
+        return SharePrediction(n_cores, per_core, d_nic, True, True)
+    if u_full >= d_core:
+        # Cores demand-limited, NIC takes the rest (rare: tiny n).
+        leftover = C - n_cores * d_core
+        nic = min(d_nic, leftover / beta)
+        return SharePrediction(n_cores, d_core, nic, True,
+                               nic >= d_nic * (1 - 1e-9))
+    # Case 3: everyone bottlenecked at the level.
+    return SharePrediction(n_cores, u_full, w * u_full, True, False)
+
+
+def predict_fig4b(spec: MachineSpec | str = "henri",
+                  core_counts=None) -> List[Tuple[int, float, float]]:
+    """Analytic fig-4b curve: (n, stream_per_core, nic_bw) triples.
+
+    Only the single-controller part of the figure (computing cores on
+    the NIC's NUMA node); cross-socket cores additionally bottleneck on
+    the inter-socket link, which this closed form ignores.
+    """
+    s = get_preset(spec) if isinstance(spec, str) else spec
+    if core_counts is None:
+        core_counts = list(range(0, s.cores_per_numa * s.numa_per_socket))
+    out = []
+    for n in core_counts:
+        p = predict_stream_vs_dma(s, n)
+        out.append((n, p.stream_per_core, p.nic_rate))
+    return out

@@ -1,0 +1,103 @@
+"""NetPIPE-style characterisation of a simulated network.
+
+The paper uses NetPIPE's metrics (§2.1); this module produces the full
+NetPIPE view of a cluster — the latency/bandwidth curve over the whole
+size range — and fits the standard models to it:
+
+* LogP ``lat = L + O/f`` across frequency points (§3.1's analysis);
+* the postal model ``lat(s) = α + s/β`` per protocol regime, yielding
+  the effective α (startup) and β (asymptotic bandwidth) users quote;
+* the *half-performance size* ``n₁/₂`` (size reaching half of β).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.presets import MachineSpec, get_preset
+from repro.hardware.topology import Cluster
+from repro.mpi.comm import CommWorld
+from repro.mpi.pingpong import PingPong
+
+__all__ = ["NetPipeCurve", "measure_netpipe", "fit_postal", "n_half"]
+
+
+@dataclass
+class NetPipeCurve:
+    """Measured latency per size, plus derived metrics."""
+
+    sizes: np.ndarray
+    latencies: np.ndarray          # median seconds per size
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        return self.sizes / self.latencies
+
+    @property
+    def zero_latency(self) -> float:
+        """Smallest-message latency (NetPIPE's headline number)."""
+        return float(self.latencies[0])
+
+    @property
+    def asymptotic_bandwidth(self) -> float:
+        return float(self.bandwidths[-1])
+
+    def row(self, i: int) -> Tuple[int, float, float]:
+        return (int(self.sizes[i]), float(self.latencies[i]),
+                float(self.bandwidths[i]))
+
+
+def measure_netpipe(spec: MachineSpec | str = "henri",
+                    sizes: Optional[Sequence[int]] = None,
+                    reps: int = 10,
+                    comm_placement: str = "near") -> NetPipeCurve:
+    """Run the ping-pong over the full NetPIPE size range."""
+    s = get_preset(spec) if isinstance(spec, str) else spec
+    if sizes is None:
+        sizes = [1 << i for i in range(2, 27)]   # 4 B .. 64 MB
+    world = CommWorld(Cluster(s, 2), comm_placement=comm_placement)
+    pingpong = PingPong(world)
+    lats: List[float] = []
+    for size in sizes:
+        res = pingpong.run(size, reps=reps)
+        lats.append(res.median_latency)
+    return NetPipeCurve(sizes=np.asarray(sizes, dtype=float),
+                        latencies=np.asarray(lats))
+
+
+def fit_postal(curve: NetPipeCurve,
+               min_size: int = 0) -> Tuple[float, float]:
+    """Least-squares postal model ``lat = alpha + size/beta``.
+
+    Returns ``(alpha_seconds, beta_bytes_per_second)``.  Fit the
+    rendezvous regime by passing ``min_size`` above the eager threshold.
+    """
+    mask = curve.sizes >= min_size
+    if mask.sum() < 2:
+        raise ValueError("need >= 2 points above min_size")
+    sizes = curve.sizes[mask]
+    lats = curve.latencies[mask]
+    design = np.column_stack([np.ones_like(sizes), sizes])
+    (alpha, inv_beta), *_ = np.linalg.lstsq(design, lats, rcond=None)
+    if inv_beta <= 0:
+        raise ValueError("degenerate fit: non-positive per-byte cost")
+    return float(alpha), float(1.0 / inv_beta)
+
+
+def n_half(curve: NetPipeCurve) -> float:
+    """Half-performance message size n₁/₂ (Hockney's metric)."""
+    target = curve.asymptotic_bandwidth / 2.0
+    bws = curve.bandwidths
+    for i in range(len(bws)):
+        if bws[i] >= target:
+            if i == 0:
+                return float(curve.sizes[0])
+            # log-linear interpolation between the straddling points
+            s0, s1 = curve.sizes[i - 1], curve.sizes[i]
+            b0, b1 = bws[i - 1], bws[i]
+            frac = (target - b0) / (b1 - b0)
+            return float(s0 * (s1 / s0) ** frac)
+    return float(curve.sizes[-1])

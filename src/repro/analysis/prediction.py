@@ -1,0 +1,126 @@
+"""Interference prediction (§8: "predict and quantify them").
+
+The paper's first future-work item is to *predict* the interference
+instead of just measuring it.  This module provides that predictor for
+the simulator's machine model, combining
+
+* the closed-form max-min share of :mod:`repro.analysis.bwmodel` for the
+  bandwidth channel,
+* the LogP + PIO-co-location algebra for the latency channel,
+* the roofline reduction for the application side (an application is
+  summarised by its per-core arithmetic intensity).
+
+Given a machine spec, a placement, the number of computing cores and
+the computation's intensity, :func:`predict_interference` returns the
+expected latency and bandwidth degradation factors — no event loop.
+The tests validate it against the full simulation across the fig-4 and
+fig-7 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.bwmodel import predict_stream_vs_dma
+from repro.core.placement import Placement
+from repro.hardware.presets import MachineSpec, get_preset
+
+__all__ = ["InterferencePrediction", "predict_interference",
+           "core_demand_from_intensity"]
+
+
+@dataclass(frozen=True)
+class InterferencePrediction:
+    """Predicted communication performance under computation."""
+
+    n_cores: int
+    intensity: float
+    latency_ratio: float       # contended / nominal latency (>= 1)
+    bandwidth_ratio: float     # contended / nominal bandwidth (<= 1)
+    compute_slowdown: float    # computation contended / alone (>= 1)
+
+
+def core_demand_from_intensity(spec: MachineSpec, intensity: float,
+                               vector: bool = False) -> float:
+    """Per-core DRAM demand (bytes/s) of a kernel at *intensity* flop/B.
+
+    Roofline: the compute side consumes ``fpc·f`` flops/s, i.e.
+    ``fpc·f / I`` bytes/s, capped by the per-core streaming limit.
+    """
+    if intensity <= 0:
+        return spec.memory.per_core_bw
+    fpc = spec.avx_flops_per_cycle if vector else spec.flops_per_cycle
+    # All-core turbo: the relevant operating point under full load.
+    f = spec.freq.turbo.min_frequency
+    flops_rate = fpc * f
+    return min(spec.memory.per_core_bw, flops_rate / intensity)
+
+
+def predict_interference(spec: MachineSpec | str, n_cores: int,
+                         intensity: float = 1.0 / 12.0,
+                         placement: Optional[Placement] = None,
+                         vector: bool = False) -> InterferencePrediction:
+    """Predict latency/bandwidth degradation without simulating.
+
+    Parameters mirror the §4 experiments: *n_cores* computing cores
+    running a kernel of the given arithmetic *intensity*, with the
+    paper's default placement (data near the NIC, comm thread far)
+    unless overridden.
+    """
+    s = get_preset(spec) if isinstance(spec, str) else spec
+    if placement is None:
+        placement = Placement("near", "far")
+    demand = core_demand_from_intensity(s, intensity, vector=vector)
+    per_socket = s.numa_per_socket * s.cores_per_numa
+
+    # ---- bandwidth channel: max-min on the data-side controller -------
+    # Cores spread over the machine in logical order; those on the data
+    # controller's socket contend directly.  Scale the single-controller
+    # closed form by the demand the intensity leaves.
+    weight = demand / s.memory.per_core_bw if s.memory.per_core_bw else 1.0
+    eff_cores = n_cores * weight
+    share = predict_stream_vs_dma(s, max(0, round(eff_cores)))
+    nominal = predict_stream_vs_dma(s, 0)
+    bandwidth_ratio = share.nic_rate / nominal.nic_rate \
+        if nominal.nic_rate > 0 else 1.0
+
+    # ---- latency channel: LogP + co-location penalty -------------------
+    hops = 1 if placement.comm_thread == "far" else 0
+    if placement.comm_thread == "far":
+        colocated = max(0, min(n_cores - per_socket, per_socket - 1))
+    else:
+        colocated = min(n_cores, per_socket - 1)
+    frac = (colocated / max(1, per_socket - 1)) * min(
+        1.0, demand / (s.memory.controller_bw / per_socket))
+    penalty = 2 * s.contention.pio_penalty(frac, hops)
+
+    # Nominal latency at the loaded operating point (all-core turbo,
+    # ramped uncore — computation is running).
+    f = s.freq.turbo.min_frequency
+    o = (s.nic.o_send_cycles + s.nic.o_recv_cycles) / f
+    g = 2 * s.nic.pio_uncore_cycles / s.uncore.max_hz
+    wire = s.nic.wire_latency + 2 * hops * s.interconnect.hop_latency
+    nominal_lat = o + g + wire
+    latency_ratio = (nominal_lat + penalty) / nominal_lat
+
+    # ---- computation side ----------------------------------------------
+    if share.controller_saturated and n_cores > 0 and demand > 0:
+        alone = predict_stream_vs_dma(
+            s.with_overrides(nic=s.nic), max(0, round(eff_cores)))
+        # Compare the per-core share with vs without the NIC flow:
+        # without the NIC, cores split the full controller.
+        no_nic_share = min(s.memory.per_core_bw,
+                           s.memory.controller_bw
+                           / max(1.0, eff_cores))
+        with_nic = share.stream_per_core
+        compute_slowdown = no_nic_share / with_nic if with_nic > 0 else 1.0
+    else:
+        compute_slowdown = 1.0
+
+    return InterferencePrediction(
+        n_cores=n_cores, intensity=intensity,
+        latency_ratio=max(1.0, latency_ratio),
+        bandwidth_ratio=min(1.0, bandwidth_ratio),
+        compute_slowdown=max(1.0, compute_slowdown),
+    )

@@ -1,0 +1,68 @@
+"""Summary statistics used by all experiments.
+
+The paper plots the *median* of several runs with a band delimited by the
+first and last decile (§2.1); :func:`summarize` produces exactly those
+three numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "median", "decile_band",
+           "bootstrap_ci"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Median and decile band of a sample, as plotted in the paper."""
+
+    median: float
+    p10: float
+    p90: float
+    n: int
+
+    @property
+    def band_width(self) -> float:
+        return self.p90 - self.p10
+
+
+def summarize(samples: Sequence[float]) -> SummaryStats:
+    """Median + first/last decile of *samples*."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return SummaryStats(
+        median=float(np.median(arr)),
+        p10=float(np.quantile(arr, 0.1)),
+        p90=float(np.quantile(arr, 0.9)),
+        n=int(arr.size),
+    )
+
+
+def median(samples: Sequence[float]) -> float:
+    return summarize(samples).median
+
+
+def decile_band(samples: Sequence[float]) -> Tuple[float, float]:
+    s = summarize(samples)
+    return (s.p10, s.p90)
+
+
+def bootstrap_ci(samples: Sequence[float], confidence: float = 0.95,
+                 n_boot: int = 2000, seed: int = 0) -> Tuple[float, float]:
+    """Bootstrap confidence interval on the median."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not (0 < confidence < 1):
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_boot, arr.size))
+    medians = np.median(arr[idx], axis=1)
+    lo = (1 - confidence) / 2
+    return (float(np.quantile(medians, lo)),
+            float(np.quantile(medians, 1 - lo)))

@@ -1,0 +1,183 @@
+"""Command-line interface: run paper experiments and print/record results.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig4a [--spec henri] [--fast]
+    python -m repro run all --fast --out EXPERIMENTS_RUN.md
+
+``--fast`` substitutes reduced sweep parameters (fewer repetitions and
+points) so every figure finishes in seconds; omit it to regenerate the
+full figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from repro.core import experiments as E
+from repro.core.report import render_experiment, write_experiments_md
+
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+# Reduced parameter sets for --fast mode.
+_FAST_KWARGS: Dict[str, dict] = {
+    "fig1": dict(sizes=[4, 65536, 67108864], reps=6),
+    "fig1a": dict(sizes=[4, 65536, 67108864], reps=6),
+    "fig1b": dict(sizes=[4, 65536, 67108864], reps=6),
+    "fig2": dict(phase_seconds=0.04),
+    "fig3a": dict(core_counts=(4, 20), reps=5),
+    "fig3bc": dict(phase_seconds=0.05),
+    "fig4a": dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=6),
+    "fig4b": dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=4),
+    "fig5": dict(core_counts=[0, 5, 20, 35], reps=4),
+    "table1": dict(core_counts=[0, 5, 20, 35], reps=4),
+    "fig6a": dict(sizes=[4, 1024, 4096, 65536, 1048576, 67108864], reps=4),
+    "fig6b": dict(sizes=[4, 128, 1024, 4096, 65536, 1048576, 67108864],
+                  reps=4),
+    "fig7a": dict(cursors=[1, 8, 24, 48, 72, 96, 144, 480], reps=4,
+                  elems=1_000_000),
+    "fig7b": dict(cursors=[1, 8, 24, 72, 144, 480], reps=3,
+                  elems=2_000_000, sweeps=3),
+    "runtime_overhead": dict(reps=10),
+    "fig8": dict(reps=10),
+    "fig9": dict(sizes=[4, 1024], reps=8),
+    "fig10": dict(worker_counts=(1, 8, 16, 24, 34)),
+    "overlap": dict(sizes=[65536, 1 << 20, 16 << 20], n_compute_cores=6),
+    "multipair": dict(pair_counts=[1, 2, 4], sizes=[4, 16 << 20], reps=4),
+    "gpu_vs_network": dict(reps=6, chunk=8 << 20),
+    "gpu_vs_stream": dict(core_counts=[0, 4, 12], copies_per_point=4),
+}
+
+def _overlap(spec="henri", **kwargs):
+    from repro.core.overlap import overlap_experiment
+    return overlap_experiment(spec=spec, **kwargs)
+
+
+def _multipair(spec="henri", **kwargs):
+    from repro.core.multipair import multipair_experiment
+    return multipair_experiment(spec=spec, **kwargs)
+
+
+def _gpu_network(spec="henri", **kwargs):
+    from repro.core.gpu_experiments import gpu_vs_network
+    return gpu_vs_network(spec=spec, **kwargs)
+
+
+def _gpu_stream(spec="henri", **kwargs):
+    from repro.core.gpu_experiments import gpu_vs_stream
+    return gpu_vs_stream(spec=spec, **kwargs)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1a": E.fig1a, "fig1b": E.fig1b, "fig2": E.fig2,
+    "fig3a": E.fig3a, "fig3bc": E.fig3bc,
+    "fig4a": E.fig4a, "fig4b": E.fig4b,
+    "table1": E.table1,
+    "fig6a": E.fig6a, "fig6b": E.fig6b,
+    "fig7a": E.fig7a, "fig7b": E.fig7b,
+    "runtime_overhead": E.runtime_overhead,
+    "fig8": E.fig8, "fig9": E.fig9, "fig10": E.fig10,
+    # Extensions beyond the paper's figures:
+    "overlap": _overlap,
+    "multipair": _multipair,
+    "gpu_vs_network": _gpu_network,
+    "gpu_vs_stream": _gpu_stream,
+}
+
+
+def run_experiment(name: str, spec: str = "henri", fast: bool = False):
+    """Run one named experiment; returns its result object."""
+    if name == "fig5":
+        kwargs = dict(_FAST_KWARGS["fig5"]) if fast else {}
+        return E.fig5(spec=spec, **kwargs)
+    func = EXPERIMENTS[name]
+    kwargs = dict(_FAST_KWARGS.get(name, {})) if fast else {}
+    return func(spec=spec, **kwargs)
+
+
+def _render(name: str, result) -> str:
+    if name == "fig5":
+        return "\n".join(render_experiment(r) for r in result.values())
+    if name == "table1":
+        from repro.core.report import render_table
+        rows = [[r["data"], r["comm_thread"],
+                 f'{r["latency_impact_from_cores"]}',
+                 f'{r["latency_max_ratio"]:.2f}x',
+                 f'{r["bandwidth_min_ratio"]:.2f}']
+                for r in result.meta["rows"]]
+        return render_table(
+            ["data", "comm thread", "lat. impact from cores",
+             "lat. max ratio", "bw min ratio"], rows)
+    return render_experiment(result)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduce the figures of 'Interferences between "
+        "Communications and Computations in Distributed HPC Systems' "
+        "(ICPP 2021) on the simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    topo = sub.add_parser("topology",
+                          help="print a cluster preset's topology")
+    topo.add_argument("--spec", default="henri")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment",
+                     help="experiment name (fig1a..fig10, table1, fig5, "
+                     "runtime_overhead) or 'all'")
+    run.add_argument("--spec", default="henri",
+                     help="cluster preset (henri/bora/billy/pyxis)")
+    run.add_argument("--fast", action="store_true",
+                     help="reduced sweeps, seconds per figure")
+    run.add_argument("--out", default=None,
+                     help="write a markdown record to this path")
+    run.add_argument("--plot", action="store_true",
+                     help="render the series as an ASCII chart")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in list(EXPERIMENTS) + ["fig5"]:
+            print(name)
+        return 0
+
+    if args.command == "topology":
+        from repro.hardware import Cluster
+        from repro.hardware.hwloc import render_topology
+        cluster = Cluster(args.spec, n_nodes=1)
+        print(render_topology(cluster.machine(0)))
+        return 0
+
+    names = (list(EXPERIMENTS) + ["fig5"]) if args.experiment == "all" \
+        else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS and n != "fig5"]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}; "
+                     f"try: {sorted(EXPERIMENTS)}")
+
+    sections: Dict[str, str] = {}
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, spec=args.spec, fast=args.fast)
+        text = _render(name, result)
+        if getattr(args, "plot", False) and name not in ("fig5", "table1"):
+            from repro.core.plotting import plot_experiment
+            text += "\n" + plot_experiment(result)
+        sections[name] = text
+        print(text)
+        print(f"[{name} done in {time.time() - t0:.1f}s]", file=sys.stderr)
+
+    if args.out:
+        write_experiments_md(sections, path=args.out,
+                             title=f"Experiment run ({args.spec}"
+                             f"{', fast' if args.fast else ''})")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""The paper's contribution: the interference benchmark suite.
+
+* :mod:`repro.core.results` — series/result containers with the paper's
+  median + decile-band statistics.
+* :mod:`repro.core.placement` — near/far-NIC placements for the
+  communication thread, the data, and the computing threads (§4.3).
+* :mod:`repro.core.sidebyside` — the §2.1 three-step protocol:
+  computation alone, communication alone, both side by side, with both
+  throughput-style (STREAM) and fixed-work (prime/AVX) computations.
+* :mod:`repro.core.experiments` — one entry point per paper figure and
+  table (``fig1a`` … ``fig10``), each returning an
+  :class:`~repro.core.results.ExperimentResult`.
+* :mod:`repro.core.report` — ASCII rendering and EXPERIMENTS.md
+  generation.
+"""
+
+from repro.core.results import Series, ExperimentResult
+from repro.core.placement import (
+    Placement, compute_core_ids, comm_core_for, data_numa_for,
+)
+from repro.core.sidebyside import (
+    SideBySideConfig, ThroughputOutcome, DurationOutcome,
+    run_throughput_protocol, run_duration_protocol,
+)
+from repro.core import experiments
+from repro.core.report import render_table, render_experiment, write_experiments_md
+
+__all__ = [
+    "Series", "ExperimentResult",
+    "Placement", "compute_core_ids", "comm_core_for", "data_numa_for",
+    "SideBySideConfig", "ThroughputOutcome", "DurationOutcome",
+    "run_throughput_protocol", "run_duration_protocol",
+    "experiments",
+    "render_table", "render_experiment", "write_experiments_md",
+]

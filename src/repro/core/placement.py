@@ -1,0 +1,79 @@
+"""Thread and data placement schemes (§4.3 / Table 1 of the paper).
+
+Three placement decisions shape the interference:
+
+* where the **communication thread** runs — near the NIC (last core of
+  the NIC's NUMA node) or far (last core of a NUMA node on the other
+  socket, the paper's §4.2 default);
+* where the **data** lives — ping-pong buffers and STREAM arrays on the
+  NIC's NUMA node (near) or on the opposite socket (far);
+* which cores **compute** — bound "respecting the order of the logical
+  core numbering" (§4.2), skipping the comm core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.hardware.topology import Machine
+
+__all__ = ["Placement", "comm_core_for", "data_numa_for",
+           "compute_core_ids"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One cell of the paper's Table 1."""
+
+    data: str            # "near" | "far"
+    comm_thread: str     # "near" | "far"
+
+    def __post_init__(self):
+        for field_name, value in (("data", self.data),
+                                  ("comm_thread", self.comm_thread)):
+            if value not in ("near", "far"):
+                raise ValueError(f"{field_name} must be 'near' or 'far', "
+                                 f"got {value!r}")
+
+    @property
+    def key(self) -> str:
+        return f"data_{self.data}_thread_{self.comm_thread}"
+
+
+ALL_PLACEMENTS = (
+    Placement("near", "near"),
+    Placement("near", "far"),
+    Placement("far", "near"),
+    Placement("far", "far"),
+)
+
+
+def comm_core_for(machine: Machine, where: str) -> int:
+    """Core id for the communication thread (*near*/*far* the NIC)."""
+    if where == "near":
+        return machine.last_core_of_numa(machine.nic_numa.id).id
+    if where == "far":
+        return machine.far_numa_from_nic().cores[-1].id
+    raise ValueError("where must be 'near' or 'far'")
+
+
+def data_numa_for(machine: Machine, where: str) -> int:
+    """NUMA node id for data placed *near*/*far* from the NIC."""
+    if where == "near":
+        return machine.nic_numa.id
+    if where == "far":
+        return machine.far_numa_from_nic().id
+    raise ValueError("where must be 'near' or 'far'")
+
+
+def compute_core_ids(machine: Machine, n: int, comm_core: int) -> List[int]:
+    """First *n* cores in logical order, skipping the comm core (§4.2)."""
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    available = [c.id for c in machine.cores if c.id != comm_core]
+    if n > len(available):
+        raise ValueError(
+            f"asked for {n} computing cores but only {len(available)} "
+            "are available next to the comm thread")
+    return available[:n]

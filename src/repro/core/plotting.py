@@ -1,0 +1,113 @@
+"""Terminal plotting: render experiment series as ASCII charts.
+
+The repository has no plotting dependency; this module draws the
+figures' curves directly in the terminal so ``python -m repro run
+fig4b --plot`` shows the shape the paper plots, decile band included.
+
+The renderer supports linear and log axes (message-size sweeps are
+log-x), multiple series with distinct glyphs, and a legend.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.report import format_si
+from repro.core.results import ExperimentResult, Series
+
+__all__ = ["ascii_plot", "plot_experiment"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def _transform(value: float, log: bool) -> float:
+    if log:
+        return math.log10(max(value, 1e-300))
+    return value
+
+
+def _scale(values: Sequence[float], log: bool,
+           span: int) -> Tuple[float, float]:
+    tvals = [_transform(v, log) for v in values]
+    lo, hi = min(tvals), max(tvals)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    return lo, (hi - lo) / max(1, span)
+
+
+def ascii_plot(series_list: Iterable[Series], width: int = 64,
+               height: int = 16, log_x: bool = False,
+               log_y: bool = False,
+               title: str = "") -> str:
+    """Render one or more series into an ASCII chart."""
+    series_list = [s for s in series_list if len(s) > 0]
+    if not series_list:
+        return "(no data)\n"
+    xs_all = [x for s in series_list for x in s.x]
+    ys_all = [y for s in series_list for y in s.median]
+    if log_x and min(xs_all) <= 0:
+        log_x = False
+    if log_y and min(ys_all) <= 0:
+        log_y = False
+    x0, xstep = _scale(xs_all, log_x, width - 1)
+    y0, ystep = _scale(ys_all, log_y, height - 1)
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, series in enumerate(series_list):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        prev: Optional[Tuple[int, int]] = None
+        for x, y in zip(series.x, series.median):
+            col = round((_transform(x, log_x) - x0) / xstep)
+            row = round((_transform(y, log_y) - y0) / ystep)
+            col = min(width - 1, max(0, col))
+            row = min(height - 1, max(0, row))
+            grid[height - 1 - row][col] = glyph
+            if prev is not None:
+                # Sparse connecting dots along the segment.
+                pc, pr = prev
+                steps = max(abs(col - pc), abs(row - pr))
+                for t in range(1, steps):
+                    ic = pc + (col - pc) * t // steps
+                    ir = pr + (row - pr) * t // steps
+                    if grid[height - 1 - ir][ic] == " ":
+                        grid[height - 1 - ir][ic] = "."
+            prev = (col, row)
+
+    y_hi = y0 + ystep * (height - 1)
+    lines = []
+    if title:
+        lines.append(title)
+    label_hi = format_si(10 ** y_hi if log_y else y_hi)
+    label_lo = format_si(10 ** y0 if log_y else y0)
+    margin = max(len(label_hi), len(label_lo)) + 1
+    for r, row_cells in enumerate(grid):
+        label = label_hi if r == 0 else (
+            label_lo if r == height - 1 else "")
+        lines.append(f"{label.rjust(margin)}|{''.join(row_cells)}")
+    x_hi = x0 + xstep * (width - 1)
+    left = format_si(10 ** x0 if log_x else x0)
+    right = format_si(10 ** x_hi if log_x else x_hi)
+    axis = f"{' ' * margin}+{'-' * width}"
+    lines.append(axis)
+    lines.append(f"{' ' * margin} {left}{' ' * max(1, width - len(left) - len(right))}{right}")
+    legend = "   ".join(f"{_GLYPHS[i % len(_GLYPHS)]} {s.label}"
+                        for i, s in enumerate(series_list))
+    lines.append(f"{' ' * margin} {legend}")
+    return "\n".join(lines) + "\n"
+
+
+def plot_experiment(result: ExperimentResult,
+                    keys: Optional[Sequence[str]] = None,
+                    width: int = 64, height: int = 16) -> str:
+    """Plot an experiment's main series (auto log-x for size sweeps)."""
+    if keys is None:
+        keys = [k for k in sorted(result.series)
+                if not k.endswith("_bw") or
+                all(not k2.endswith("_bw") for k2 in result.series)]
+        keys = keys[:4]
+    series = [result.series[k] for k in keys if k in result.series]
+    xs = [x for s in series for x in s.x]
+    log_x = bool(xs) and min(xs) > 0 and max(xs) / max(min(xs), 1e-300) > 500
+    return ascii_plot(series, width=width, height=height, log_x=log_x,
+                      title=f"{result.name}: {result.title}")

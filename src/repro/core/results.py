@@ -1,0 +1,88 @@
+"""Containers for experiment outputs.
+
+A :class:`Series` is one curve of a paper figure: x values plus the
+median and first/last-decile band at each x (exactly the paper's plot
+format, §2.1).  An :class:`ExperimentResult` groups the series of one
+figure/table with metadata and derived observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import summarize
+
+__all__ = ["Series", "ExperimentResult"]
+
+
+@dataclass
+class Series:
+    """One curve: x -> median value with a decile band."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    median: List[float] = field(default_factory=list)
+    p10: List[float] = field(default_factory=list)
+    p90: List[float] = field(default_factory=list)
+    xlabel: str = ""
+    ylabel: str = ""
+
+    def add(self, x: float, samples: Sequence[float]) -> None:
+        """Append a point from raw samples (median + decile band)."""
+        stats = summarize(samples)
+        self.x.append(float(x))
+        self.median.append(stats.median)
+        self.p10.append(stats.p10)
+        self.p90.append(stats.p90)
+
+    def add_value(self, x: float, value: float) -> None:
+        """Append a deterministic point (degenerate band)."""
+        self.x.append(float(x))
+        self.median.append(float(value))
+        self.p10.append(float(value))
+        self.p90.append(float(value))
+
+    def at(self, x: float) -> float:
+        """Median value at the x closest to *x*."""
+        if not self.x:
+            raise ValueError(f"series {self.label!r} is empty")
+        idx = int(np.argmin(np.abs(np.asarray(self.x) - x)))
+        return self.median[idx]
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self.median)
+
+    @property
+    def xs(self) -> np.ndarray:
+        return np.asarray(self.x)
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one figure/table plus derived observations."""
+
+    name: str                       # e.g. "fig4a"
+    title: str
+    series: Dict[str, Series] = field(default_factory=dict)
+    meta: Dict[str, object] = field(default_factory=dict)
+    observations: Dict[str, object] = field(default_factory=dict)
+
+    def new_series(self, key: str, label: Optional[str] = None,
+                   xlabel: str = "", ylabel: str = "") -> Series:
+        s = Series(label=label if label is not None else key,
+                   xlabel=xlabel, ylabel=ylabel)
+        self.series[key] = s
+        return s
+
+    def __getitem__(self, key: str) -> Series:
+        return self.series[key]
+
+    def observe(self, key: str, value: object) -> None:
+        self.observations[key] = value

@@ -1,0 +1,91 @@
+"""Simulated CPU performance counters.
+
+The paper uses ``pmu-tools``/``perf`` to measure the fraction of
+execution time the CPU is stalled on memory accesses (Figure 10, bottom
+panel).  In the simulator, kernels know exactly which share of each
+executed slice was memory-bound, so the counters are maintained by
+construction rather than sampled.
+
+Counters are cumulative; experiments snapshot them before/after a phase
+and subtract (:meth:`CycleCounters.snapshot` / :meth:`CycleCounters.delta`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+__all__ = ["CoreCounterState", "CycleCounters"]
+
+
+@dataclass
+class CoreCounterState:
+    """Accumulated per-core times, in seconds."""
+
+    busy: float = 0.0           # executing anything
+    mem_stall: float = 0.0      # of which: stalled on memory accesses
+    flops: float = 0.0          # floating point operations retired
+    bytes_moved: float = 0.0    # DRAM traffic caused by this core
+    # Of mem_stall: the *excess* over the uncontended memory time, i.e.
+    # cycles lost to other traffic on the memory system (what the §8
+    # worker autotuner minimises).
+    contention_stall: float = 0.0
+
+    def copy(self) -> "CoreCounterState":
+        return CoreCounterState(self.busy, self.mem_stall,
+                                self.flops, self.bytes_moved,
+                                self.contention_stall)
+
+
+class CycleCounters:
+    """Per-core counter bank for one machine."""
+
+    def __init__(self, core_ids: Iterable[int]):
+        self._state: Dict[int, CoreCounterState] = {
+            c: CoreCounterState() for c in core_ids}
+
+    def record(self, core_id: int, busy: float, mem_stall: float = 0.0,
+               flops: float = 0.0, bytes_moved: float = 0.0,
+               contention_stall: float = 0.0) -> None:
+        """Accumulate a finished execution slice on *core_id*."""
+        if busy < 0 or mem_stall < 0 or mem_stall > busy * (1 + 1e-9):
+            raise ValueError(
+                f"invalid slice: busy={busy}, mem_stall={mem_stall}")
+        if contention_stall < 0 or contention_stall > mem_stall * (1 + 1e-9):
+            raise ValueError("contention_stall must be within mem_stall")
+        st = self._state[core_id]
+        st.busy += busy
+        st.mem_stall += min(mem_stall, busy)
+        st.flops += flops
+        st.bytes_moved += bytes_moved
+        st.contention_stall += min(contention_stall, mem_stall)
+
+    def state(self, core_id: int) -> CoreCounterState:
+        return self._state[core_id]
+
+    def snapshot(self) -> Dict[int, CoreCounterState]:
+        """Copy of all counters, for later :meth:`delta`."""
+        return {c: st.copy() for c, st in self._state.items()}
+
+    def delta(self, before: Dict[int, CoreCounterState],
+              cores: Optional[Iterable[int]] = None) -> CoreCounterState:
+        """Aggregate counters accumulated since *before* over *cores*."""
+        total = CoreCounterState()
+        selected = list(cores) if cores is not None else list(self._state)
+        for c in selected:
+            now = self._state[c]
+            prev = before.get(c, CoreCounterState())
+            total.busy += now.busy - prev.busy
+            total.mem_stall += now.mem_stall - prev.mem_stall
+            total.flops += now.flops - prev.flops
+            total.bytes_moved += now.bytes_moved - prev.bytes_moved
+            total.contention_stall += (now.contention_stall
+                                       - prev.contention_stall)
+        return total
+
+    @staticmethod
+    def stall_fraction(agg: CoreCounterState) -> float:
+        """Fraction of busy time stalled on memory (the paper's metric)."""
+        if agg.busy <= 0:
+            return 0.0
+        return agg.mem_stall / agg.busy

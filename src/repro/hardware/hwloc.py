@@ -1,0 +1,76 @@
+"""lstopo-style textual rendering of a machine topology.
+
+The paper's placement reasoning (near/far from the NIC, §4.3) is all
+about topology; this renders a :class:`~repro.hardware.topology.Machine`
+the way ``hwloc``'s ``lstopo`` would, so users can see which cores are
+where before choosing placements.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Optional
+
+from repro.hardware.topology import Machine
+
+__all__ = ["render_topology", "render_placement"]
+
+
+def _format_bw(bps: float) -> str:
+    return f"{bps / 1e9:.0f}GB/s"
+
+
+def render_topology(machine: Machine) -> str:
+    """Textual tree of sockets / NUMA nodes / cores / NIC."""
+    out = io.StringIO()
+    spec = machine.spec
+    out.write(f"Machine '{spec.name}' (node {machine.node_id}): "
+              f"{len(machine.cores)} cores, "
+              f"{len(machine.numa_nodes)} NUMA nodes\n")
+    for socket in machine.sockets:
+        out.write(f"  Socket P#{socket.id}  "
+                  f"(mesh {_format_bw(socket.mesh.capacity)})\n")
+        for numa in socket.numa_nodes:
+            nic = "  + NIC" if numa is machine.nic_numa else ""
+            cores = numa.cores
+            out.write(
+                f"    NUMANode P#{numa.id}  "
+                f"({_format_bw(numa.controller.capacity)} memory, "
+                f"{numa.capacity_bytes / 1e9:.0f}GB){nic}\n")
+            ids = ", ".join(str(c.id) for c in cores)
+            out.write(f"      Cores: {ids}\n")
+    links = sorted({(min(a, b), max(a, b))
+                    for (a, b) in machine._links})  # noqa: SLF001
+    for a, b in links:
+        out.write(f"  Link socket{a} <-> socket{b}: "
+                  f"{_format_bw(machine.socket_link(a, b).capacity)} "
+                  "per direction\n")
+    out.write(f"  NIC: {_format_bw(spec.nic.wire_bw)} wire, "
+              f"{_format_bw(spec.nic.pcie_bw)} PCIe, attached to "
+              f"NUMA P#{machine.nic_numa.id}\n")
+    return out.getvalue()
+
+
+def render_placement(machine: Machine, comm_core: int,
+                     compute_cores=None,
+                     data_numa: Optional[int] = None) -> str:
+    """Annotated core map: C = comm thread, * = computing, . = idle."""
+    compute = set(compute_cores or ())
+    out = io.StringIO()
+    for numa in machine.numa_nodes:
+        marks = []
+        for core in numa.cores:
+            if core.id == comm_core:
+                marks.append("C")
+            elif core.id in compute:
+                marks.append("*")
+            else:
+                marks.append(".")
+        tag = ""
+        if numa is machine.nic_numa:
+            tag += " [NIC]"
+        if data_numa is not None and numa.id == data_numa:
+            tag += " [data]"
+        out.write(f"NUMA{numa.id} (socket {numa.socket_id}): "
+                  f"{''.join(marks)}{tag}\n")
+    return out.getvalue()

@@ -1,0 +1,61 @@
+"""Memory buffers and NUMA placement.
+
+The paper controls *where* data lives (near or far from the NIC) with
+explicit NUMA allocation; :class:`Buffer` captures exactly that: a size
+and a NUMA node.  Buffers are what ping-pongs transmit and what kernels
+stream over, and they carry the registration-cache state (§2.1: ping-pong
+buffers are recycled "to take benefit of registration cache").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hardware.topology import Machine, NUMANode
+
+__all__ = ["Buffer", "allocate", "allocate_interleaved"]
+
+_buffer_ids = itertools.count()
+
+
+@dataclass
+class Buffer:
+    """A contiguous allocation on one NUMA node of one machine."""
+
+    machine: Machine = field(repr=False)
+    numa_id: int = 0
+    size: int = 0
+    label: str = ""
+    id: int = field(default_factory=lambda: next(_buffer_ids))
+
+    @property
+    def numa(self) -> NUMANode:
+        return self.machine.numa_nodes[self.numa_id]
+
+    def __hash__(self) -> int:
+        return self.id
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Buffer) and other.id == self.id
+
+
+def allocate(machine: Machine, numa_id: int, size: int,
+             label: str = "") -> Buffer:
+    """Explicitly allocate *size* bytes on *numa_id* (numactl-style)."""
+    if not (0 <= numa_id < len(machine.numa_nodes)):
+        raise ValueError(f"machine has no NUMA node {numa_id}")
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    return Buffer(machine=machine, numa_id=numa_id, size=size, label=label)
+
+
+def allocate_interleaved(machine: Machine, size: int, count: int,
+                         label: str = "") -> List[Buffer]:
+    """First-touch-style allocation: *count* buffers spread round-robin
+    over all NUMA nodes (what StarPU workers produce when each allocates
+    its own tiles, §5.3)."""
+    n_numa = len(machine.numa_nodes)
+    return [allocate(machine, i % n_numa, size, label=f"{label}[{i}]")
+            for i in range(count)]

@@ -1,0 +1,32 @@
+"""AVX-512 FLOP kernel (§3.3 of the paper).
+
+"Each computing core does the same amount of computation: a set of
+multiple AVX512 floating instructions (weak scalability)."
+
+The kernel operates entirely in registers (no DRAM traffic); its sole
+effects are (a) loading the core at the AVX-512 frequency license, and
+(b) taking ``work_flops / (avx_flops_per_cycle × f)`` seconds — so the
+computation duration grows as more cores pull the license frequency down
+(Figure 3a: 135 ms on 4 cores at 3 GHz vs 210 ms on 20 cores at 2.3 GHz).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.roofline import Kernel
+
+__all__ = ["avx_kernel", "DEFAULT_AVX_WORK_FLOPS"]
+
+# Work per core per sweep, calibrated so that 4 henri cores at their
+# 3.0 GHz AVX license need ~135 ms (Figure 3b).
+DEFAULT_AVX_WORK_FLOPS = 1.3e10
+
+
+def avx_kernel(work_flops: float = DEFAULT_AVX_WORK_FLOPS,
+               chunk_elems: int = 50) -> Kernel:
+    """In-register AVX-512 kernel doing *work_flops* per sweep."""
+    if work_flops <= 0:
+        raise ValueError("work_flops must be > 0")
+    elems = 1000
+    return Kernel(name="avx512", elems=elems, bytes_per_elem=0.0,
+                  flops_per_elem=work_flops / elems, vector=True,
+                  chunk_elems=chunk_elems)

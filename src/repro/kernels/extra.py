@@ -1,0 +1,92 @@
+"""Additional computation kernels beyond the paper's benchmark set.
+
+The paper uses COPY/TRIAD, prime counting, AVX and CG/GEMM.  Real HPC
+applications sit on a wider intensity spectrum; these kernels extend the
+library so users can place *their* codes on the paper's interference
+map:
+
+* :func:`scale_kernel` / :func:`add_kernel` — the other two STREAM
+  kernels (McCalpin's full quartet);
+* :func:`spmv_kernel` — CSR sparse matrix-vector product, the classic
+  ultra-memory-bound kernel (~0.1 flop/B including index traffic);
+* :func:`stencil_kernel` — 3-D 7-point stencil sweep, the PDE workhorse
+  (~0.2-0.5 flop/B depending on cache blocking);
+* :func:`dgemm_kernel` — a cache-blocked single-core DGEMM slice, the
+  CPU-bound end of the spectrum.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.roofline import Kernel
+
+__all__ = ["scale_kernel", "add_kernel", "spmv_kernel", "stencil_kernel",
+           "dgemm_kernel"]
+
+
+def scale_kernel(elems: int = 10_000_000,
+                 chunk_elems: int = 100_000) -> Kernel:
+    """STREAM SCALE: b[i] = s*a[i] — 16 B and 1 flop per element."""
+    return Kernel(name="stream_scale", elems=elems,
+                  bytes_per_elem=16.0, flops_per_elem=1.0,
+                  chunk_elems=chunk_elems)
+
+
+def add_kernel(elems: int = 10_000_000,
+               chunk_elems: int = 100_000) -> Kernel:
+    """STREAM ADD: c[i] = a[i]+b[i] — 24 B and 1 flop per element."""
+    return Kernel(name="stream_add", elems=elems,
+                  bytes_per_elem=24.0, flops_per_elem=1.0,
+                  chunk_elems=chunk_elems)
+
+
+def spmv_kernel(rows: int = 2_000_000, nnz_per_row: int = 20,
+                chunk_elems: int = 50_000) -> Kernel:
+    """CSR SpMV: per row, ``nnz`` (value + column index) streams plus the
+    gathered x accesses — ~12.5 B and 2 flops per nonzero.
+
+    Intensity ≈ 2/12.5 ≈ 0.16 flop/B: below TRIAD, the most
+    contention-generating realistic kernel in the library.
+    """
+    if rows < 1 or nnz_per_row < 1:
+        raise ValueError("rows and nnz_per_row must be >= 1")
+    bytes_per_row = nnz_per_row * (8 + 4) + 8 + 0.5 * nnz_per_row * 8
+    flops_per_row = 2.0 * nnz_per_row
+    return Kernel(name=f"spmv{nnz_per_row}", elems=rows,
+                  bytes_per_elem=bytes_per_row,
+                  flops_per_elem=flops_per_row,
+                  chunk_elems=chunk_elems)
+
+
+def stencil_kernel(n: int = 256, blocked: bool = True,
+                   chunk_elems: int = 100_000) -> Kernel:
+    """3-D 7-point stencil over an n³ grid.
+
+    8 flops per point; with cache blocking each point costs ~16 B of
+    DRAM traffic (read once + write once), unblocked ~40 B (neighbour
+    planes fall out of cache).
+    """
+    if n < 8:
+        raise ValueError("grid too small")
+    bytes_per_point = 16.0 if blocked else 40.0
+    return Kernel(name=f"stencil{n}{'b' if blocked else ''}",
+                  elems=n ** 3, bytes_per_elem=bytes_per_point,
+                  flops_per_elem=8.0, chunk_elems=chunk_elems)
+
+
+def dgemm_kernel(n: int = 1024, block: int = 192,
+                 chunk_elems: int = 4) -> Kernel:
+    """Single-core blocked DGEMM C += A·B (n³ flops, AVX-512).
+
+    DRAM traffic ≈ ``2·n³/block × 8 B`` (each operand panel streamed
+    once per block sweep); intensity ≈ ``block/8`` flop/B — dozens,
+    i.e. firmly CPU-bound like the paper's MKL GEMM.
+    """
+    if n < block:
+        raise ValueError("n must be >= block")
+    total_flops = 2.0 * n ** 3
+    total_bytes = 2.0 * n ** 3 / block * 8.0
+    elems = max(chunk_elems, (n // block) ** 2)
+    return Kernel(name=f"dgemm{n}", elems=elems,
+                  bytes_per_elem=total_bytes / elems,
+                  flops_per_elem=total_flops / elems,
+                  vector=True, chunk_elems=chunk_elems)

@@ -1,0 +1,101 @@
+"""Host-native STREAM kernels (real NumPy, no simulation).
+
+Runs COPY/TRIAD on the actual machine this library executes on, to give
+users a live reference point for the simulator's memory-bandwidth
+numbers and to demonstrate the same benchmark protocol on real hardware.
+Follows the scientific-python guidance: vectorised NumPy, in-place
+operations, no Python-level loops over elements.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = ["NativeStreamResult", "native_copy", "native_triad",
+           "native_tunable_triad", "run_native_stream"]
+
+
+@dataclass
+class NativeStreamResult:
+    """Measured host performance of one native kernel."""
+
+    kernel: str
+    elems: int
+    iterations: int
+    best_seconds: float
+    bytes_per_iteration: float
+
+    @property
+    def bandwidth(self) -> float:
+        """Best-iteration DRAM traffic estimate in bytes/s."""
+        return self.bytes_per_iteration / self.best_seconds
+
+    def summary(self) -> str:
+        return (f"{self.kernel}: {self.bandwidth/1e9:.2f} GB/s "
+                f"(best of {self.iterations})")
+
+
+def native_copy(b: np.ndarray, a: np.ndarray) -> None:
+    """b[:] = a[:] (STREAM COPY)."""
+    np.copyto(b, a)
+
+
+def native_triad(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+                 scalar: float = 3.0) -> None:
+    """c[:] = a + scalar*b (STREAM TRIAD), allocation-free."""
+    np.multiply(b, scalar, out=c)
+    np.add(c, a, out=c)
+
+
+def native_tunable_triad(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+                         cursor: int, scalar: float = 3.0) -> None:
+    """TRIAD repeated *cursor* times per sweep (the §4.5 cursor idea;
+    NumPy cannot repeat per-element, so the repetition is per-array —
+    the flops:bytes ratio scales the same way once arrays exceed LLC)."""
+    native_triad(c, a, b, scalar)
+    for _ in range(cursor - 1):
+        np.multiply(b, scalar, out=c)
+        np.add(c, a, out=c)
+
+
+def run_native_stream(kernel: str = "triad", elems: int = 20_000_000,
+                      iterations: int = 5, cursor: int = 1,
+                      rng: Optional[np.random.Generator] = None,
+                      ) -> NativeStreamResult:
+    """Measure a native kernel; returns best-of-N bandwidth.
+
+    ``bytes_per_iteration`` uses STREAM's counting rules (16 B/elem for
+    COPY, 24 B/elem for TRIAD).
+    """
+    if iterations < 1 or elems < 1:
+        raise ValueError("iterations and elems must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    a = rng.random(elems)
+    b = rng.random(elems)
+    c = np.empty_like(a)
+
+    runners: Dict[str, Callable[[], None]] = {
+        "copy": lambda: native_copy(c, a),
+        "triad": lambda: native_triad(c, a, b),
+        "tunable_triad": lambda: native_tunable_triad(c, a, b, cursor),
+    }
+    if kernel not in runners:
+        raise ValueError(f"unknown kernel {kernel!r}; pick from {sorted(runners)}")
+    run = runners[kernel]
+    run()  # warmup
+    best = float("inf")
+    for _ in range(iterations):
+        t0 = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - t0)
+    nbytes = elems * (16.0 if kernel == "copy" else 24.0)
+    if kernel == "tunable_triad":
+        nbytes *= cursor  # each repetition re-streams the arrays
+    return NativeStreamResult(kernel=kernel, elems=elems,
+                              iterations=iterations, best_seconds=best,
+                              bytes_per_iteration=nbytes)

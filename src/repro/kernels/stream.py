@@ -1,0 +1,74 @@
+"""STREAM kernels (McCalpin [16]) and the tunable-intensity TRIAD.
+
+The paper's §4 uses two STREAM kernels:
+
+* ``COPY``  — ``b[i] = a[i]``: 16 B of DRAM traffic per element, 0 flops.
+* ``TRIAD`` — ``c[i] = a[i] + C*b[i]``: 24 B per element, 2 flops.
+
+§4.5 modifies TRIAD with a *cursor*: the operation is repeated ``cursor``
+times on each element before moving on, multiplying the flops while the
+traffic stays constant — sweeping the kernel from memory-bound to
+CPU-bound.  Arithmetic intensity is ``2·cursor / 24 = cursor/12`` flop/B,
+so the paper's 6 flop/B henri ridge corresponds to cursor ≈ 72.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.roofline import Kernel
+
+__all__ = [
+    "STREAM_ARRAY_BYTES", "COPY_BYTES_PER_ELEM", "TRIAD_BYTES_PER_ELEM",
+    "copy_kernel", "triad_kernel", "tunable_triad",
+    "intensity_of_cursor", "cursor_for_intensity",
+]
+
+# Default working set: 3 arrays of 10M doubles (240 MB), far beyond LLC,
+# matching STREAM's "much larger than cache" rule.
+STREAM_ARRAY_ELEMS = 10_000_000
+COPY_BYTES_PER_ELEM = 16.0    # read a[i], write b[i]
+TRIAD_BYTES_PER_ELEM = 24.0   # read a[i], read b[i], write c[i]
+TRIAD_FLOPS_PER_ELEM = 2.0    # multiply + add
+STREAM_ARRAY_BYTES = int(STREAM_ARRAY_ELEMS * TRIAD_BYTES_PER_ELEM)
+
+
+def copy_kernel(elems: int = STREAM_ARRAY_ELEMS,
+                chunk_elems: int = 100_000) -> Kernel:
+    """STREAM COPY: pure bandwidth, no flops."""
+    return Kernel(name="stream_copy", elems=elems,
+                  bytes_per_elem=COPY_BYTES_PER_ELEM,
+                  flops_per_elem=0.0, chunk_elems=chunk_elems)
+
+
+def triad_kernel(elems: int = STREAM_ARRAY_ELEMS,
+                 chunk_elems: int = 100_000) -> Kernel:
+    """STREAM TRIAD: 2 flops per 24 B (intensity 1/12 flop/B)."""
+    return Kernel(name="stream_triad", elems=elems,
+                  bytes_per_elem=TRIAD_BYTES_PER_ELEM,
+                  flops_per_elem=TRIAD_FLOPS_PER_ELEM,
+                  chunk_elems=chunk_elems)
+
+
+def tunable_triad(cursor: int, elems: int = STREAM_ARRAY_ELEMS,
+                  chunk_elems: int = 100_000) -> Kernel:
+    """TRIAD with the paper's cursor: repeat the FMA *cursor* times per
+    element (§4.5).  cursor=1 is plain TRIAD."""
+    if cursor < 1:
+        raise ValueError("cursor must be >= 1")
+    return Kernel(name=f"triad_cursor{cursor}", elems=elems,
+                  bytes_per_elem=TRIAD_BYTES_PER_ELEM,
+                  flops_per_elem=TRIAD_FLOPS_PER_ELEM * cursor,
+                  chunk_elems=chunk_elems)
+
+
+def intensity_of_cursor(cursor: int) -> float:
+    """Arithmetic intensity (flop/B) of :func:`tunable_triad`."""
+    return TRIAD_FLOPS_PER_ELEM * cursor / TRIAD_BYTES_PER_ELEM
+
+
+def cursor_for_intensity(intensity: float) -> int:
+    """Smallest cursor whose intensity is >= *intensity* flop/B."""
+    if intensity <= 0:
+        raise ValueError("intensity must be > 0")
+    cursor = int(round(intensity * TRIAD_BYTES_PER_ELEM
+                       / TRIAD_FLOPS_PER_ELEM))
+    return max(1, cursor)

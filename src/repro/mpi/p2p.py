@@ -1,0 +1,168 @@
+"""Tagged point-to-point messaging with MPI matching semantics.
+
+``isend``/``irecv`` return :class:`Request` objects whose ``done`` event
+fires when the transfer completes.  A message transfer starts once both
+sides have posted (rendezvous-style matching; the underlying protocol
+engine then decides eager vs rendezvous *timing* from the size).
+
+Each node's communication thread executes transfers serially — the
+paper's methodology uses exactly one thread for all communications of a
+host (§2.1), and this serialisation is what the task-based runtime layer
+inherits (§5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.hardware.memory import Buffer
+from repro.mpi.comm import CommWorld
+from repro.netmodel.protocols import TransferRecord
+from repro.sim import Event
+
+__all__ = ["Request", "P2PContext"]
+
+
+@dataclass
+class Request:
+    """Handle for a pending isend/irecv."""
+
+    kind: str                    # "send" | "recv"
+    src: int
+    dst: int
+    tag: int
+    buffer: Buffer = field(repr=False)
+    size: int = 0
+    done: Event = field(default=None, repr=False)
+    record: Optional[TransferRecord] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.done is not None and self.done.triggered
+
+
+class _SerialQueue:
+    """FIFO execution of generator jobs (one comm thread per node)."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._jobs: Deque[Tuple[object, Event]] = deque()
+        self._running = False
+
+    def submit(self, job) -> Event:
+        """Queue generator *job*; returns an event fired with its result."""
+        done = self.sim.event()
+        self._jobs.append((job, done))
+        if not self._running:
+            self._running = True
+            self.sim.process(self._drain())
+        return done
+
+    @property
+    def backlog(self) -> int:
+        return len(self._jobs)
+
+    def _drain(self):
+        while self._jobs:
+            job, done = self._jobs.popleft()
+            try:
+                result = yield self.sim.process(job)
+            except Exception as err:  # propagate to the waiter
+                done.fail(err)
+                continue
+            done.succeed(result)
+        self._running = False
+
+
+class P2PContext:
+    """Matching engine + per-node serial communication threads."""
+
+    def __init__(self, world: CommWorld):
+        self.world = world
+        self.sim = world.sim
+        self._pending_sends: Dict[Tuple[int, int, int], Deque[Request]] = {}
+        self._pending_recvs: Dict[Tuple[int, int, int], Deque[Request]] = {}
+        self._queues: Dict[int, _SerialQueue] = {
+            r.node_id: _SerialQueue(self.sim) for r in world.ranks}
+        self.transfers: List[TransferRecord] = []
+
+    # -- public API --------------------------------------------------------
+    def isend(self, src: int, dst: int, buffer: Buffer, tag: int = 0,
+              size: Optional[int] = None) -> Request:
+        """Post a non-blocking send of *buffer* from rank src to rank dst."""
+        req = Request(kind="send", src=src, dst=dst, tag=tag, buffer=buffer,
+                      size=size if size is not None else buffer.size,
+                      done=self.sim.event())
+        self._match(req)
+        return req
+
+    def irecv(self, dst: int, src: int, buffer: Buffer, tag: int = 0,
+              size: Optional[int] = None) -> Request:
+        """Post a non-blocking receive into *buffer* on rank dst."""
+        req = Request(kind="recv", src=src, dst=dst, tag=tag, buffer=buffer,
+                      size=size if size is not None else buffer.size,
+                      done=self.sim.event())
+        self._match(req)
+        return req
+
+    def send_backlog(self, node_id: int) -> int:
+        """Transfers queued on *node_id*'s communication thread."""
+        return self._queues[node_id].backlog
+
+    # -- matching ----------------------------------------------------------
+    def _match(self, req: Request) -> None:
+        key = (req.src, req.dst, req.tag)
+        mine = (self._pending_sends if req.kind == "send"
+                else self._pending_recvs)
+        theirs = (self._pending_recvs if req.kind == "send"
+                  else self._pending_sends)
+        waiting = theirs.get(key)
+        if waiting:
+            peer = waiting.popleft()
+            if not waiting:
+                del theirs[key]
+            send_req = req if req.kind == "send" else peer
+            recv_req = peer if req.kind == "send" else req
+            self._launch(send_req, recv_req)
+        else:
+            mine.setdefault(key, deque()).append(req)
+
+    def _transfer_job(self, send_req: Request, recv_req: Request,
+                      size: int):
+        """Generator executing one matched transfer; overridable (the
+        task-based runtime layer wraps it with its extra software stack)."""
+        world = self.world
+        src_rank = world.rank(send_req.src)
+        dst_rank = world.rank(send_req.dst)
+        record = yield world.sim.process(world.engine.half_transfer(
+            src_node=src_rank.node_id,
+            src_core=src_rank.comm_core,
+            src_buf=send_req.buffer,
+            dst_node=dst_rank.node_id,
+            dst_core=dst_rank.comm_core,
+            dst_buf=recv_req.buffer,
+            size=size,
+        ))
+        return record
+
+    def _launch(self, send_req: Request, recv_req: Request) -> None:
+        size = min(send_req.size, recv_req.size)
+        done = self._queues[send_req.src].submit(
+            self._transfer_job(send_req, recv_req, size))
+
+        def on_done(event):
+            if not event.ok:
+                exc = event._exception  # noqa: SLF001
+                send_req.done.fail(exc)
+                recv_req.done.fail(RuntimeError(str(exc)))
+                return
+            record: TransferRecord = event.value
+            send_req.record = record
+            recv_req.record = record
+            self.transfers.append(record)
+            send_req.done.succeed(record)
+            recv_req.done.succeed(record)
+
+        done.add_callback(on_done)

@@ -1,0 +1,6 @@
+"""Distributed task-graph applications for §6 (Figure 10)."""
+
+from repro.runtime.apps.cg import CGResult, run_cg
+from repro.runtime.apps.gemm import GEMMResult, run_gemm
+
+__all__ = ["CGResult", "run_cg", "GEMMResult", "run_gemm"]

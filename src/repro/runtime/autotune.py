@@ -1,0 +1,153 @@
+"""Automatic worker-count selection (§8 future work of the paper).
+
+The paper closes with: *"task-based runtime systems could select
+(automatically) the optimal number of workers which reduces memory
+contention and maximizes performances for the whole program execution"*.
+
+:class:`WorkerAutotuner` implements that proposal as a **stall-band
+feedback controller**: every adaptation window it reads the active
+workers' memory-stall fraction from the cycle counters (the simulated
+``perf`` of Figure 10) and
+
+* **pauses** workers while the stall fraction exceeds ``stall_high`` —
+  those cycles are pure queueing on a saturated memory system, so
+  shedding workers does not cost compute throughput but frees the
+  communication path (PIO co-location, DMA share, runtime-stack
+  stalls);
+* **resumes** workers while it is below ``stall_low`` and there is work
+  queued — headroom means more workers add real throughput.
+
+Within the band it holds.  For memory-bound applications (CG) the
+controller settles near the saturation knee, well below the core count;
+for compute-bound applications (GEMM) it keeps everyone running.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.runtime.mpi_layer import RuntimeComm
+from repro.runtime.runtime import RuntimeSystem
+
+__all__ = ["AutotuneConfig", "AutotuneSample", "WorkerAutotuner"]
+
+
+@dataclass(frozen=True)
+class AutotuneConfig:
+    """Stall-band controller parameters."""
+
+    window: float = 30e-3         # seconds per adaptation window; must
+                                  # exceed typical task durations so each
+                                  # window sees whole-task completions
+    step: int = 2                 # workers paused/resumed per move
+    min_workers: int = 1
+    stall_high: float = 0.40      # pause workers above this stall level
+    stall_low: float = 0.20       # resume workers below this level
+    min_busy_fraction: float = 0.2   # ignore windows with little work
+
+    def __post_init__(self):
+        if self.window <= 0 or self.step < 1 or self.min_workers < 1:
+            raise ValueError("invalid autotune configuration")
+        if not (0 <= self.stall_low < self.stall_high <= 1):
+            raise ValueError("need 0 <= stall_low < stall_high <= 1")
+
+
+@dataclass
+class AutotuneSample:
+    """One adaptation-window observation."""
+
+    time: float
+    active_workers: int
+    stall_fraction: float
+    busy_fraction: float
+    action: str                   # "pause" | "resume" | "hold" | "idle"
+
+
+class WorkerAutotuner:
+    """Feedback controller over a runtime's active worker count."""
+
+    def __init__(self, runtime: RuntimeSystem,
+                 comm: Optional[RuntimeComm] = None,
+                 config: Optional[AutotuneConfig] = None):
+        self.runtime = runtime
+        self.comm = comm            # kept for API symmetry / reporting
+        self.config = config if config is not None else AutotuneConfig()
+        self.history: List[AutotuneSample] = []
+        self._running = False
+        self._process = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "WorkerAutotuner":
+        if self._running:
+            raise RuntimeError("autotuner already running")
+        self._running = True
+        self._process = self.runtime.sim.process(self._control_loop())
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+
+    @property
+    def chosen_workers(self) -> int:
+        return self.runtime.active_workers
+
+    # -- measurement ----------------------------------------------------------
+    def _window_stats(self, before, window: float):
+        """(contention-stall fraction, busy fraction) of active workers.
+
+        Uses the *contention* stall — memory time in excess of the
+        uncontended roofline — so an intrinsically memory-bound kernel
+        on an idle machine reads 0: only queueing behind other traffic
+        triggers adaptation.
+        """
+        cores = [w.core_id for w in self.runtime.workers if not w.paused]
+        if not cores:
+            return 0.0, 0.0
+        counters = self.runtime.machine.counters
+        agg = counters.delta(before, cores=cores)
+        busy_capacity = window * len(cores)
+        busy_frac = agg.busy / busy_capacity if busy_capacity > 0 else 0.0
+        # Median per-worker contention: robust against the few workers
+        # whose tasks are pinned behind an inter-socket link (pausing
+        # others cannot help those).
+        fractions = []
+        for core in cores:
+            d = counters.delta(before, cores=[core])
+            if d.busy > 1e-9:
+                fractions.append(d.contention_stall / d.busy)
+        if not fractions:
+            return 0.0, busy_frac
+        fractions.sort()
+        stall_frac = fractions[len(fractions) // 2]
+        return stall_frac, busy_frac
+
+    # -- control loop ----------------------------------------------------------
+    def _control_loop(self) -> Generator:
+        cfg = self.config
+        runtime = self.runtime
+        while self._running and not runtime.stopped:
+            before = runtime.machine.counters.snapshot()
+            yield cfg.window
+            if not self._running or runtime.stopped:
+                return
+            stall, busy = self._window_stats(before, cfg.window)
+            n = runtime.active_workers
+            if busy < cfg.min_busy_fraction:
+                action = "idle"            # between phases: don't adapt
+            elif stall > cfg.stall_high and n > cfg.min_workers:
+                runtime.set_active_workers(
+                    max(cfg.min_workers, n - cfg.step))
+                action = "pause"
+            elif stall < cfg.stall_low and n < len(runtime.workers) \
+                    and len(runtime.scheduler) > 0:
+                runtime.set_active_workers(
+                    min(len(runtime.workers), n + cfg.step))
+                action = "resume"
+            else:
+                action = "hold"
+            self.history.append(AutotuneSample(
+                time=runtime.sim.now,
+                active_workers=runtime.active_workers,
+                stall_fraction=stall, busy_fraction=busy,
+                action=action))

@@ -1,0 +1,144 @@
+"""Tasks, data handles and dependency inference.
+
+Applications are modelled as a task graph (§5.1): each :class:`Task`
+declares the data handles it accesses and with which mode; dependencies
+are inferred with StarPU's sequential-consistency rule (a reader depends
+on the last writer; a writer depends on the last writer *and* all
+readers since).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hardware.memory import Buffer
+from repro.kernels.blas import TileCost
+
+__all__ = ["AccessMode", "DataHandle", "Task", "TaskGraph"]
+
+_handle_ids = itertools.count()
+_task_ids = itertools.count()
+
+
+class AccessMode(enum.Enum):
+    R = "R"
+    W = "W"
+    RW = "RW"
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.W, AccessMode.RW)
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.R, AccessMode.RW)
+
+
+@dataclass
+class DataHandle:
+    """A registered piece of data (one buffer per owning rank)."""
+
+    buffer: Buffer = field(repr=False)
+    home_rank: int = 0
+    label: str = ""
+    id: int = field(default_factory=lambda: next(_handle_ids))
+
+    @property
+    def size(self) -> int:
+        return self.buffer.size
+
+    @property
+    def numa_id(self) -> int:
+        return self.buffer.numa_id
+
+    def __hash__(self) -> int:
+        return self.id
+
+
+@dataclass
+class Task:
+    """One codelet execution: a tile cost plus data accesses."""
+
+    name: str
+    cost: TileCost
+    accesses: Sequence[Tuple[DataHandle, AccessMode]] = ()
+    rank: int = 0                      # which node executes it
+    id: int = field(default_factory=lambda: next(_task_ids))
+    # Filled during execution:
+    deps: List["Task"] = field(default_factory=list, repr=False)
+    n_waiting: int = 0
+    done: bool = False
+    start_time: float = -1.0
+    end_time: float = -1.0
+
+    @property
+    def duration(self) -> float:
+        if self.start_time < 0 or self.end_time < 0:
+            return 0.0
+        return self.end_time - self.start_time
+
+    def data_numa(self) -> Optional[int]:
+        """NUMA node of the task's dominant (largest) accessed handle."""
+        best = None
+        for handle, _mode in self.accesses:
+            if best is None or handle.size > best.size:
+                best = handle
+        return best.numa_id if best is not None else None
+
+    def __hash__(self) -> int:
+        return self.id
+
+
+class TaskGraph:
+    """Builds dependencies with the sequential-consistency rule."""
+
+    def __init__(self):
+        self.tasks: List[Task] = []
+        self._last_writer: Dict[int, Task] = {}
+        self._readers_since: Dict[int, List[Task]] = {}
+
+    def add(self, task: Task) -> Task:
+        """Insert *task*, inferring dependencies from its accesses."""
+        deps: List[Task] = []
+        for handle, mode in task.accesses:
+            hid = handle.id
+            if mode.reads:
+                writer = self._last_writer.get(hid)
+                if writer is not None:
+                    deps.append(writer)
+            if mode.writes:
+                writer = self._last_writer.get(hid)
+                if writer is not None:
+                    deps.append(writer)
+                deps.extend(self._readers_since.get(hid, ()))
+        # Deduplicate while preserving order.
+        seen = set()
+        task.deps = [d for d in deps
+                     if d.id not in seen and not seen.add(d.id)]
+        task.n_waiting = len(task.deps)
+        for handle, mode in task.accesses:
+            hid = handle.id
+            if mode.writes:
+                self._last_writer[hid] = task
+                self._readers_since[hid] = []
+            elif mode.reads:
+                self._readers_since.setdefault(hid, []).append(task)
+        self.tasks.append(task)
+        return task
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    def roots(self) -> List[Task]:
+        return [t for t in self.tasks if t.n_waiting == 0]
+
+    def validate_acyclic(self) -> bool:
+        """Sanity check: sequential-consistency graphs are DAGs by
+        construction (deps always point to earlier insertions)."""
+        order = {t.id: i for i, t in enumerate(self.tasks)}
+        return all(order[d.id] < order[t.id]
+                   for t in self.tasks for d in t.deps)

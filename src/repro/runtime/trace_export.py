@@ -1,0 +1,133 @@
+"""Execution-trace export (FxT/ViTE-like, in Chrome-tracing JSON).
+
+StarPU ships FxT tracing viewable in ViTE; the paper's §6 profiling
+("using the profiling utility provided by the communication library")
+relies on such traces.  This module records task executions and runtime
+messages and exports them in the Chrome tracing format
+(``chrome://tracing`` / Perfetto), one lane per worker core plus one per
+communication thread.
+
+Usage::
+
+    tracer = RuntimeTracer()
+    tracer.attach(runtime)         # one or more runtimes
+    tracer.attach_comm(comm)       # the RuntimeComm layer
+    ... run the application ...
+    tracer.export("trace.json")
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TraceEvent", "RuntimeTracer"]
+
+
+@dataclass
+class TraceEvent:
+    """One complete-duration event ('X' phase in the Chrome format)."""
+
+    name: str
+    category: str         # "task" | "message"
+    start: float          # seconds of simulated time
+    duration: float
+    pid: int              # node id
+    tid: int              # core id (or -1 for the comm thread lane)
+    args: Dict[str, object] = field(default_factory=dict)
+
+    def to_chrome(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "ts": self.start * 1e6,        # microseconds
+            "dur": self.duration * 1e6,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": self.args,
+        }
+
+
+class RuntimeTracer:
+    """Collects task/message events from runtimes and comm layers."""
+
+    def __init__(self):
+        self.events: List[TraceEvent] = []
+        self._lanes: Dict[int, str] = {}
+
+    # -- attachment ----------------------------------------------------------
+    def attach(self, runtime) -> None:
+        """Hook a RuntimeSystem: one trace lane per worker core."""
+        self.attach_workers(runtime)
+
+    def attach_comm(self, comm) -> None:
+        """Hook a RuntimeComm (or P2PContext) transfer log."""
+        original_launch = comm._launch
+
+        def wrapped(send_req, recv_req):
+            original_launch(send_req, recv_req)
+
+            def on_done(event):
+                if not event.ok:
+                    return
+                rec = send_req.record
+                if rec is None:
+                    return
+                self.events.append(TraceEvent(
+                    name=f"msg {rec.size}B", category="message",
+                    start=rec.start, duration=rec.duration,
+                    pid=send_req.src, tid=-1,
+                    args={"size": rec.size, "dst": send_req.dst,
+                          "protocol": rec.protocol}))
+
+            send_req.done.add_callback(on_done)
+
+        comm._launch = wrapped
+
+    def attach_workers(self, runtime) -> None:
+        """Per-worker lanes: wrap each worker's execute path."""
+        node = runtime.rank_id
+        for worker in runtime.workers:
+            original = worker._execute
+            core = worker.core_id
+
+            def wrapped(task, _orig=original, _core=core):
+                start = runtime.sim.now
+
+                def gen():
+                    result = yield from _orig(task)
+                    self.events.append(TraceEvent(
+                        name=task.name, category="task",
+                        start=start, duration=runtime.sim.now - start,
+                        pid=node, tid=_core,
+                        args={"flops": task.cost.flops,
+                              "bytes": task.cost.bytes}))
+                    return result
+
+                return gen()
+
+            worker._execute = wrapped
+
+    # -- export ----------------------------------------------------------
+    def to_chrome_json(self) -> str:
+        payload = {
+            "traceEvents": [e.to_chrome() for e in self.events],
+            "displayTimeUnit": "ms",
+        }
+        return json.dumps(payload, indent=1)
+
+    def export(self, path: str) -> int:
+        """Write the Chrome-tracing JSON; returns the event count."""
+        with open(path, "w") as fh:
+            fh.write(self.to_chrome_json())
+        return len(self.events)
+
+    # -- queries (useful for tests/analysis) ---------------------------------
+    def events_by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.category == category]
+
+    def busy_time(self, pid: int, tid: Optional[int] = None) -> float:
+        return sum(e.duration for e in self.events
+                   if e.pid == pid and (tid is None or e.tid == tid))

@@ -1,0 +1,156 @@
+"""Worker threads: task execution and busy-wait polling.
+
+Each worker is bound to one core (§5.1: one worker per core not reserved
+for the main or communication thread).  An idle worker polls the shared
+ready list; the steady-state contention of that polling is accounted by
+the scheduler (see :mod:`repro.runtime.scheduler`), while the *reaction
+latency* — half a backoff period between a task being pushed and a
+worker noticing — is simulated here.
+
+Task execution follows the roofline model exactly like standalone
+kernels: compute at the live core frequency, memory as a fluid flow from
+the task's dominant data's NUMA node, stalls recorded in the counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.hardware.frequency import CoreActivity
+from repro.hardware.topology import Machine
+from repro.runtime.task import Task
+from repro.sim import noisy
+
+__all__ = ["Worker"]
+
+
+class Worker:
+    """One worker thread bound to a core."""
+
+    def __init__(self, runtime, machine: Machine, core_id: int):
+        self.runtime = runtime
+        self.machine = machine
+        self.core_id = core_id
+        self.tasks_executed = 0
+        self.busy_time = 0.0
+        self.paused = False
+        self._process = None
+
+    def start(self) -> None:
+        self._process = self.machine.sim.process(self._loop())
+
+    def pause(self) -> None:
+        """Stop taking tasks after the current one (the §8 'reduce the
+        number of workers' knob); the core stops polling entirely."""
+        if not self.paused:
+            self.paused = True
+            # Recycle idle workers so a parked poller re-registers as a
+            # non-polling sleeper.
+            self.runtime._wake_all()  # noqa: SLF001 - cooperating classes
+
+    def resume(self) -> None:
+        if self.paused:
+            self.paused = False
+            self.runtime._wake_all()  # noqa: SLF001 - cooperating classes
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> Generator:
+        runtime = self.runtime
+        sched = runtime.scheduler
+        polling = sched.polling
+        machine = self.machine
+        machine.set_core_activity(self.core_id, CoreActivity.SCALAR,
+                                  uncore_active=False)
+        try:
+            my_socket = machine.cores[self.core_id].socket_id
+            if hasattr(sched, "register_worker"):
+                sched.register_worker(self.core_id)
+            while not runtime.stopped:
+                task = None if self.paused \
+                    else sched.pop(worker_socket=my_socket,
+                                   core_id=self.core_id)
+                if task is None:
+                    polls = not self.paused
+                    runtime.worker_went_idle(polls=polls)
+                    wake = runtime.wake_event()
+                    yield wake
+                    runtime.worker_woke_up(polls=polls)
+                    if runtime.stopped:
+                        return
+                    if self.paused:
+                        continue
+                    if not polling.paused:
+                        # Reaction latency: on average half a backoff
+                        # period passes before the poll notices the push.
+                        yield polling.poll_period / 2.0
+                    else:
+                        # Paused workers must be resumed by the runtime -
+                        # a far slower wake-up path (futex + context
+                        # switch).
+                        yield runtime.spec.worker_resume_s
+                    continue
+                yield from self._execute(task)
+        finally:
+            machine.set_core_activity(self.core_id, CoreActivity.IDLE)
+            machine.set_streaming(self.core_id, False)
+
+    def _execute(self, task: Task) -> Generator:
+        machine = self.machine
+        sim = machine.sim
+        rng = machine.rng.stream(f"worker{self.core_id}")
+        spec = machine.spec
+        task.start_time = sim.now
+
+        # Per-task runtime management overhead (dequeue, codelet setup).
+        overhead = noisy(self.runtime.spec.task_overhead_s, spec.noise, rng)
+        yield overhead
+
+        vector = getattr(task.cost, "vector", False)
+        activity = CoreActivity.AVX512 if vector else CoreActivity.SCALAR
+        nbytes = task.cost.bytes
+        machine.set_core_activity(self.core_id, activity,
+                                  uncore_active=nbytes > 0)
+        hz = machine.freq.core_hz(self.core_id)
+        fpc = spec.avx_flops_per_cycle if vector else spec.flops_per_cycle
+        cpu_time = task.cost.flops / (fpc * hz) \
+            if task.cost.flops > 0 else 0.0
+        cpu_time = noisy(cpu_time, spec.noise, rng)
+        data_numa = task.data_numa()
+        if data_numa is None:
+            data_numa = machine.cores[self.core_id].numa_id
+
+        t0 = sim.now
+        uncontended = 0.0
+        if nbytes > 0:
+            demand = spec.memory.per_core_bw
+            if cpu_time > 0:
+                demand = min(demand, nbytes / cpu_time)
+            uncontended = nbytes / demand
+            machine.set_streaming(self.core_id,
+                                  machine.streaming_weight(demand))
+            flow = machine.net.transfer(
+                machine.load_path(self.core_id, data_numa), size=nbytes,
+                demand=demand, label=f"task:{task.name}")
+            yield flow.done
+            mem_time = sim.now - t0
+            if mem_time < cpu_time:
+                yield cpu_time - mem_time
+            machine.set_streaming(self.core_id, False)
+        elif cpu_time > 0:
+            yield cpu_time
+        machine.set_core_activity(self.core_id, CoreActivity.SCALAR,
+                                  uncore_active=False)
+
+        exec_time = sim.now - t0
+        stall = max(0.0, exec_time - cpu_time)
+        contention = max(0.0, min(
+            stall, exec_time - max(cpu_time, uncontended)))
+        machine.counters.record(self.core_id, busy=exec_time + overhead,
+                                mem_stall=stall, flops=task.cost.flops,
+                                bytes_moved=nbytes,
+                                contention_stall=contention)
+        task.end_time = sim.now
+        self.tasks_executed += 1
+        self.busy_time += exec_time + overhead
+        self.runtime.on_task_done(task)

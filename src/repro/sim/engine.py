@@ -1,0 +1,227 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine keeps a binary heap of ``(time, seq, callback)`` entries.  The
+monotonically increasing sequence number makes execution order of
+same-time events deterministic (FIFO), which in turn makes every
+experiment in this repository reproducible bit-for-bit.
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* a ``float``/``int`` — sleep for that many simulated seconds;
+* an :class:`~repro.sim.events.Event` — wait until it triggers (its value
+  becomes the value of the ``yield`` expression; a failed event raises);
+* another :class:`Process` — wait for it to finish (a ``Process`` *is* an
+  event that triggers with the generator's return value).
+
+Example
+-------
+>>> sim = Simulator()
+>>> out = []
+>>> def worker(sim):
+...     yield 1.5
+...     out.append(sim.now)
+...     return "done"
+>>> p = sim.process(worker(sim))
+>>> sim.run()
+>>> out
+[1.5]
+>>> p.value
+'done'
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.sim.events import Event, Interrupt, Timeout
+
+__all__ = ["Simulator", "Process", "ScheduledHandle", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+class ScheduledHandle:
+    """Cancellable handle for a scheduled callback."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event loop with virtual time.
+
+    Time is a ``float`` in seconds.  ``run(until=...)`` executes events in
+    order until the queue is empty or the horizon is reached.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._queue: List[Tuple[float, int, ScheduledHandle, Callable, tuple]] = []
+        self._processing_events: List[Event] = []
+
+    # -- time -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling --------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledHandle:
+        """Schedule ``callback(*args)`` to run after *delay* seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledHandle:
+        """Schedule ``callback(*args)`` at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r} < now={self._now!r}")
+        handle = ScheduledHandle(time)
+        self._seq += 1
+        heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
+        return handle
+
+    def _schedule_event(self, event: Event) -> None:
+        """Schedule an already-triggered event's callbacks to run now.
+
+        Events triggered from inside the loop dispatch their callbacks as
+        a zero-delay queue entry, preserving FIFO ordering between events
+        triggered in the same callback.
+        """
+        self.schedule(0.0, event._run_callbacks)  # noqa: SLF001
+
+    # -- event factories ---------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh pending :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after *delay* seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> "Process":
+        """Start a new process from *generator*."""
+        return Process(self, generator)
+
+    # -- running -------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Absolute time horizon.  If given, execution stops once the
+            next event would be strictly after *until*, and ``now`` is
+            advanced to *until*.  If omitted, runs until the queue drains.
+        """
+        while self._queue:
+            time, _seq, handle, callback, args = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback(*args)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def peek(self) -> float:
+        """Time of the next pending event, or ``inf`` if none."""
+        while self._queue and self._queue[0][2].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Execute exactly the next pending callback."""
+        while self._queue:
+            time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            callback(*args)
+            return
+        raise SimulationError("step() on an empty event queue")
+
+
+class Process(Event):
+    """A running generator; also an event that fires on completion."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off on the next tick so creation order doesn't matter.
+        sim.schedule(0.0, self._resume, None, None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its current yield."""
+        if self.triggered:
+            return
+        waiting = self._waiting_on
+        self._waiting_on = None
+        if waiting is not None:
+            # Detach: leave a tombstone callback that ignores the event.
+            try:
+                waiting.callbacks.remove(self._on_event)
+            except ValueError:
+                pass
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+
+    # -- driving the generator -------------------------------------------
+    def _on_event(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._resume(event.value, None)
+        else:
+            self._resume(None, event._exception)  # noqa: SLF001
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        try:
+            if exc is not None:
+                target = self._generator.throw(exc)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Exception as error:
+            self.fail(error)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if isinstance(target, (int, float)):
+            target = self.sim.timeout(target)
+        if not isinstance(target, Event):
+            self._resume(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; expected a "
+                    "delay, Event or Process"),
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_event)

@@ -1,0 +1,392 @@
+"""Fluid-flow bandwidth sharing with weighted max-min fairness.
+
+This module implements the SimGrid-style fluid model used throughout the
+reproduction: every shared hardware channel (memory controller, inter-NUMA
+link, PCIe lanes, network wire) is a :class:`Resource` with a capacity in
+bytes/s, and every ongoing transfer is a :class:`Flow` crossing an ordered
+set of resources.
+
+Rates are assigned by *progressive filling*: the water level ``u`` rises
+and each flow receives ``min(demand, weight * u)`` until some resource
+saturates; saturated flows are frozen and filling continues on the rest.
+This yields the weighted max-min fair allocation with demand caps.
+
+Two refinements matter for reproducing the paper:
+
+* **Usage multipliers** — a flow may consume more resource capacity than
+  its payload rate.  NIC DMA engines issue reads, descriptor fetches and
+  write-allocations, so a DMA flow at rate ``x`` can occupy ``β·x`` of a
+  memory controller (β ≈ 1.5–2).  This is what makes a single ping-pong
+  noticeably hurt STREAM (§4.3 of the paper: −25 % with 5 cores).
+* **Weights** — the NIC's DMA engines arbitrate for the memory bus on
+  different terms than a core's load/store unit; a weight ≠ 1 captures
+  that the NIC does not degrade like "just one more core".
+
+The model is event-driven: whenever a flow starts, finishes, changes
+demand, or a capacity changes, all rates are recomputed and the finite
+flows' completion events are rescheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.engine import ScheduledHandle, SimulationError, Simulator
+from repro.sim.events import Event
+
+__all__ = ["Resource", "Flow", "FluidNetwork"]
+
+_EPS = 1e-12
+_REL_TOL = 1e-9
+
+
+class Resource:
+    """A capacity-limited channel (bytes/s)."""
+
+    __slots__ = ("name", "_capacity", "network")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"resource {name!r} capacity must be > 0")
+        self.name = name
+        self._capacity = float(capacity)
+        self.network: Optional["FluidNetwork"] = None
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    def set_capacity(self, capacity: float) -> None:
+        """Change the capacity (e.g. uncore frequency change); triggers a
+        global rate recomputation."""
+        if capacity <= 0:
+            raise ValueError("capacity must be > 0")
+        self._capacity = float(capacity)
+        if self.network is not None:
+            self.network.update()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Resource({self.name!r}, {self._capacity:.3g} B/s)"
+
+
+class Flow:
+    """A transfer crossing one or more resources.
+
+    Parameters
+    ----------
+    resources:
+        Ordered resources the flow crosses (path).  May be empty only if
+        *demand* is finite (the flow then simply runs at its demand).
+    size:
+        Total payload bytes, or ``None`` for a continuous background flow
+        that never completes on its own.
+    demand:
+        Maximum payload rate in bytes/s (``inf`` = only limited by the
+        path).
+    weight:
+        Max-min fairness weight (default 1.0).
+    usage:
+        Usage multiplier: the flow occupies ``usage × rate`` on each
+        resource of its path.  Either a scalar applied to all resources or
+        a mapping ``{resource: multiplier}`` (missing entries default to
+        1.0).
+    label:
+        Debugging/tracing label.
+    """
+
+    __slots__ = (
+        "resources", "size", "demand", "weight", "_usage_scalar",
+        "_usage_map", "label", "rate", "transferred", "done",
+        "_completion_handle", "_active", "start_time",
+    )
+
+    def __init__(
+        self,
+        resources: Sequence[Resource],
+        size: Optional[float] = None,
+        demand: float = math.inf,
+        weight: float = 1.0,
+        usage: float | Dict[Resource, float] = 1.0,
+        label: str = "",
+    ):
+        self.resources: Tuple[Resource, ...] = tuple(resources)
+        if size is not None and size < 0:
+            raise ValueError("flow size must be >= 0")
+        if not self.resources and not math.isfinite(demand):
+            raise ValueError("a flow with an empty path needs a finite demand")
+        if weight <= 0:
+            raise ValueError("flow weight must be > 0")
+        if demand <= 0:
+            raise ValueError("flow demand must be > 0")
+        self.size = size
+        self.demand = float(demand)
+        self.weight = float(weight)
+        if isinstance(usage, dict):
+            self._usage_scalar = 1.0
+            self._usage_map = dict(usage)
+        else:
+            self._usage_scalar = float(usage)
+            self._usage_map = None
+        self.label = label
+        self.rate = 0.0
+        self.transferred = 0.0
+        self.done: Optional[Event] = None
+        self._completion_handle: Optional[ScheduledHandle] = None
+        self._active = False
+        self.start_time = 0.0
+
+    def usage_on(self, resource: Resource) -> float:
+        """Multiplier applied to this flow's rate on *resource*."""
+        if self._usage_map is not None:
+            return self._usage_map.get(resource, 1.0)
+        return self._usage_scalar
+
+    @property
+    def remaining(self) -> Optional[float]:
+        """Bytes left to transfer, or ``None`` for continuous flows."""
+        if self.size is None:
+            return None
+        return max(0.0, self.size - self.transferred)
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Flow({self.label or 'anon'}, rate={self.rate:.3g}, "
+                f"remaining={self.remaining})")
+
+
+class FluidNetwork:
+    """Set of active flows over shared resources; owns rate assignment."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._flows: Set[Flow] = set()
+        self._last_update = 0.0
+
+    # -- public API -------------------------------------------------------
+    @property
+    def flows(self) -> Set[Flow]:
+        return set(self._flows)
+
+    def start_flow(self, flow: Flow) -> Flow:
+        """Activate *flow*; its :attr:`Flow.done` event fires on completion
+        (finite flows only) with the completion time as value."""
+        if flow._active:
+            raise SimulationError("flow already active")
+        self._advance()
+        flow._active = True
+        flow.start_time = self.sim.now
+        flow.done = self.sim.event()
+        for res in flow.resources:
+            if res.network is None:
+                res.network = self
+            elif res.network is not self:
+                raise SimulationError(
+                    f"resource {res.name!r} belongs to another network")
+        self._flows.add(flow)
+        self._recompute()
+        return flow
+
+    def transfer(self, resources: Sequence[Resource], size: float,
+                 demand: float = math.inf, weight: float = 1.0,
+                 usage: float | Dict[Resource, float] = 1.0,
+                 label: str = "") -> Flow:
+        """Convenience: create and start a finite flow."""
+        flow = Flow(resources, size=size, demand=demand, weight=weight,
+                    usage=usage, label=label)
+        return self.start_flow(flow)
+
+    def stop_flow(self, flow: Flow) -> float:
+        """Deactivate *flow* (e.g. a continuous background flow); returns
+        bytes transferred so far."""
+        if not flow._active:
+            return flow.transferred
+        self._advance()
+        self._deactivate(flow)
+        self._recompute()
+        return flow.transferred
+
+    def set_demand(self, flow: Flow, demand: float) -> None:
+        """Change a flow's demand cap and recompute rates."""
+        if demand <= 0:
+            raise ValueError("demand must be > 0")
+        self._advance()
+        flow.demand = float(demand)
+        self._recompute()
+
+    def update(self) -> None:
+        """Recompute rates after an external change (capacity update)."""
+        self._advance()
+        self._recompute()
+
+    def utilization(self, resource: Resource) -> float:
+        """Fraction of *resource* capacity currently consumed (0..1+)."""
+        used = sum(f.rate * f.usage_on(resource)
+                   for f in self._flows if resource in f.resources)
+        return used / resource.capacity
+
+    def flows_through(self, resource: Resource) -> List[Flow]:
+        return [f for f in self._flows if resource in f.resources]
+
+    # -- internals ----------------------------------------------------------
+    def _advance(self) -> None:
+        """Account transferred bytes since the last rate change."""
+        now = self.sim.now
+        dt = now - self._last_update
+        if dt > 0:
+            for flow in self._flows:
+                flow.transferred += flow.rate * dt
+        self._last_update = now
+
+    def _deactivate(self, flow: Flow) -> None:
+        flow._active = False
+        flow.rate = 0.0
+        if flow._completion_handle is not None:
+            flow._completion_handle.cancel()
+            flow._completion_handle = None
+        self._flows.discard(flow)
+
+    def _recompute(self) -> None:
+        # Completing a flow frees capacity, which can push other flows to
+        # completion at the same instant; loop until a fixed point.
+        while True:
+            self._assign_rates()
+            finished = [f for f in self._flows if self._is_finished(f)]
+            if not finished:
+                break
+            for flow in finished:
+                self._complete(flow)
+        self._reschedule_completions()
+
+    def _is_finished(self, flow: Flow) -> bool:
+        """True when the flow's remainder is numerically done.
+
+        Two criteria: the byte remainder is within relative epsilon of
+        the size, or the time needed to drain it at the current rate is
+        below the representable time increment at the current simulated
+        time (otherwise completion events would stop advancing time and
+        livelock the event loop).
+        """
+        remaining = flow.remaining
+        if remaining is None:
+            return False
+        if remaining <= _EPS * max(1.0, flow.size or 1.0):
+            return True
+        if flow.rate > 0:
+            time_floor = max(1e-12, 8.0 * abs(self.sim.now) * 2.3e-16)
+            return remaining <= flow.rate * time_floor
+        return False
+
+    def _assign_rates(self) -> None:
+        """Weighted max-min fair allocation via progressive filling."""
+        unfixed: Set[Flow] = set(self._flows)
+        # Flows with an empty path are only demand-limited.
+        for flow in list(unfixed):
+            if not flow.resources:
+                flow.rate = flow.demand
+                unfixed.discard(flow)
+
+        avail: Dict[Resource, float] = {}
+        res_flows: Dict[Resource, Set[Flow]] = {}
+        for flow in unfixed:
+            for res in flow.resources:
+                if res not in avail:
+                    avail[res] = res.capacity
+                    res_flows[res] = set()
+                res_flows[res].add(flow)
+        # Account for capacity consumed by already-fixed (empty-path) flows:
+        # none, by construction (empty path touches no resource).
+
+        while unfixed:
+            # Water level at which each resource would saturate.
+            level = math.inf
+            for res, fset in res_flows.items():
+                if not fset:
+                    continue
+                denom = sum(f.weight * f.usage_on(res) for f in fset)
+                if denom <= 0:
+                    continue
+                level = min(level, avail[res] / denom)
+            if not math.isfinite(level):
+                # No binding resource: every remaining flow must be
+                # demand-limited (paths through inf-capacity resources
+                # cannot occur because capacities are finite; this happens
+                # only when all remaining resources have no flows).
+                for flow in unfixed:
+                    if not math.isfinite(flow.demand):
+                        raise SimulationError(
+                            f"flow {flow.label!r} has unbounded rate")
+                    self._fix(flow, flow.demand, avail, res_flows)
+                unfixed.clear()
+                break
+
+            # Demand-limited flows below the water level are frozen first.
+            demand_limited = [f for f in unfixed
+                              if f.demand <= f.weight * level * (1 + _REL_TOL)]
+            if demand_limited:
+                for flow in demand_limited:
+                    self._fix(flow, flow.demand, avail, res_flows)
+                    unfixed.discard(flow)
+                continue
+
+            # Otherwise freeze every flow crossing a bottleneck resource.
+            froze = False
+            for res, fset in list(res_flows.items()):
+                if not fset:
+                    continue
+                denom = sum(f.weight * f.usage_on(res) for f in fset)
+                if denom <= 0:
+                    continue
+                if avail[res] / denom <= level * (1 + _REL_TOL):
+                    for flow in list(fset):
+                        if flow in unfixed:
+                            self._fix(flow, flow.weight * level,
+                                      avail, res_flows)
+                            unfixed.discard(flow)
+                            froze = True
+            if not froze:  # pragma: no cover - numerical safety net
+                for flow in list(unfixed):
+                    self._fix(flow, flow.weight * level, avail, res_flows)
+                unfixed.clear()
+
+    @staticmethod
+    def _fix(flow: Flow, rate: float,
+             avail: Dict[Resource, float],
+             res_flows: Dict[Resource, Set[Flow]]) -> None:
+        flow.rate = max(0.0, rate)
+        for res in flow.resources:
+            avail[res] = max(0.0, avail[res] - flow.rate * flow.usage_on(res))
+            res_flows[res].discard(flow)
+
+    def _reschedule_completions(self) -> None:
+        for flow in list(self._flows):
+            if flow._completion_handle is not None:
+                flow._completion_handle.cancel()
+                flow._completion_handle = None
+            remaining = flow.remaining
+            if remaining is None:
+                continue
+            if flow.rate <= 0:
+                continue  # starved: will be rescheduled on the next update
+            eta = remaining / flow.rate
+            flow._completion_handle = self.sim.schedule(
+                eta, self._on_completion, flow)
+
+    def _on_completion(self, flow: Flow) -> None:
+        self._advance()
+        if not self._is_finished(flow):
+            # Rates changed under us; reschedule.
+            self._reschedule_completions()
+            return
+        self._complete(flow)
+        self._recompute()
+
+    def _complete(self, flow: Flow) -> None:
+        flow.transferred = flow.size if flow.size is not None else flow.transferred
+        done = flow.done
+        self._deactivate(flow)
+        if done is not None and not done.triggered:
+            done.succeed(self.sim.now)

@@ -1,0 +1,57 @@
+"""Deterministic random streams and the measurement-noise model.
+
+The paper plots medians with first/last-decile bands over several runs.
+The simulator itself is deterministic, so run-to-run variability is
+emulated with controlled multiplicative noise applied to measured
+durations.  Each named stream is an independent ``numpy`` generator
+seeded from a master seed and the stream name, so adding a new stream
+never perturbs existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["RandomStreams", "noisy"]
+
+
+class RandomStreams:
+    """A family of independent, reproducible RNG streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for *name*."""
+        gen = self._streams.get(name)
+        if gen is None:
+            digest = hashlib.sha256(
+                f"{self.seed}:{name}".encode()).digest()
+            child_seed = int.from_bytes(digest[:8], "little")
+            gen = np.random.default_rng(child_seed)
+            self._streams[name] = gen
+        return gen
+
+    def spawn(self, name: str) -> "RandomStreams":
+        """Derive an independent sub-family (for nested components)."""
+        digest = hashlib.sha256(f"{self.seed}:spawn:{name}".encode()).digest()
+        return RandomStreams(int.from_bytes(digest[:8], "little"))
+
+
+def noisy(value: float, rel_sigma: float, rng: np.random.Generator) -> float:
+    """Multiplicative log-normal noise around *value*.
+
+    ``rel_sigma`` is the approximate relative standard deviation; the
+    log-normal keeps durations strictly positive and right-skewed, which
+    matches real latency distributions (occasional slow outliers, hard
+    floor on the fast side).
+    """
+    if rel_sigma <= 0:
+        return value
+    sigma = float(np.log1p(rel_sigma))
+    factor = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
+    return value * factor

@@ -1,0 +1,97 @@
+"""Time-series recording for simulated quantities.
+
+Used to reproduce the paper's frequency-trace figures (Figures 2, 3b,
+3c): a :class:`PeriodicSampler` process samples a callable at a fixed
+simulated period and appends to a :class:`Trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Trace", "PeriodicSampler"]
+
+
+@dataclass
+class Trace:
+    """Named multi-series time trace.
+
+    Each series is a list of ``(time, value)`` pairs.  Series are created
+    lazily on first :meth:`record`.
+    """
+
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.series.setdefault(name, []).append((time, float(value)))
+
+    def names(self) -> List[str]:
+        return sorted(self.series)
+
+    def times(self, name: str) -> np.ndarray:
+        return np.array([t for t, _ in self.series.get(name, ())])
+
+    def values(self, name: str) -> np.ndarray:
+        return np.array([v for _, v in self.series.get(name, ())])
+
+    def last(self, name: str) -> Optional[float]:
+        pts = self.series.get(name)
+        return pts[-1][1] if pts else None
+
+    def window(self, name: str, t0: float, t1: float) -> np.ndarray:
+        """Values of *name* with ``t0 <= t < t1``."""
+        return np.array([v for t, v in self.series.get(name, ())
+                         if t0 <= t < t1])
+
+    def mean(self, name: str, t0: float = 0.0,
+             t1: float = float("inf")) -> float:
+        window = self.window(name, t0, t1)
+        if window.size == 0:
+            raise ValueError(f"no samples for {name!r} in [{t0}, {t1})")
+        return float(window.mean())
+
+
+class PeriodicSampler:
+    """Samples ``probes`` every *period* simulated seconds into a trace.
+
+    Parameters
+    ----------
+    sim:
+        The simulator driving time.
+    probes:
+        Mapping of series name to zero-argument callables returning the
+        instantaneous value.
+    period:
+        Sampling period (seconds).
+    """
+
+    def __init__(self, sim, probes: Dict[str, Callable[[], float]],
+                 period: float, trace: Optional[Trace] = None):
+        if period <= 0:
+            raise ValueError("sampling period must be > 0")
+        self.sim = sim
+        self.probes = dict(probes)
+        self.period = float(period)
+        self.trace = trace if trace is not None else Trace()
+        self._running = False
+        self._process = None
+
+    def start(self) -> "PeriodicSampler":
+        if self._running:
+            raise RuntimeError("sampler already running")
+        self._running = True
+        self._process = self.sim.process(self._run())
+        return self
+
+    def stop(self) -> Trace:
+        self._running = False
+        return self.trace
+
+    def _run(self):
+        while self._running:
+            for name, probe in self.probes.items():
+                self.trace.record(name, self.sim.now, probe())
+            yield self.period

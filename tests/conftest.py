@@ -1,0 +1,16 @@
+"""Shared pytest configuration for the test suite.
+
+Hypothesis runs derandomized so that the suite is reproducible: property
+tests explore the same example corpus on every run (failures are then
+always reproducible, never one-off flakes).
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

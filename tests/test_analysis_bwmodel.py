@@ -1,0 +1,75 @@
+"""The closed-form sharing model must agree with the fluid simulator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bwmodel import predict_fig4b, predict_stream_vs_dma
+from repro.hardware import Cluster, HENRI
+from repro.hardware.nic import dma_demand
+from repro.sim import Flow
+
+
+def simulate_single_controller(n_cores: int):
+    """Directly build the fig-4b flow population on one controller."""
+    cluster = Cluster(HENRI, 1)
+    m = cluster.machine(0)
+    m.set_uncore(HENRI.uncore.max_hz)   # match the closed form's capacity
+    mc = m.numa_nodes[0].controller
+    streams = [cluster.net.transfer(
+        [mc], size=1e15, demand=HENRI.memory.per_core_bw,
+        label=f"s{i}") for i in range(n_cores)]
+    nic = Flow([mc], size=1e15, demand=dma_demand(m, 0),
+               weight=HENRI.nic.dma_weight,
+               usage={mc: HENRI.nic.dma_usage}, label="dma")
+    cluster.net.start_flow(nic)
+    per_core = streams[0].rate if streams else 0.0
+    return per_core, nic.rate
+
+
+@pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 9, 18, 35])
+def test_closed_form_matches_simulation(n):
+    predicted = predict_stream_vs_dma(HENRI, n)
+    sim_core, sim_nic = simulate_single_controller(n)
+    if n:
+        assert predicted.stream_per_core == pytest.approx(sim_core,
+                                                          rel=0.02)
+    assert predicted.nic_rate == pytest.approx(sim_nic, rel=0.02)
+
+
+def test_regimes():
+    # No contention at 1 core.
+    p1 = predict_stream_vs_dma(HENRI, 1)
+    assert not p1.controller_saturated
+    assert p1.stream_per_core == HENRI.memory.per_core_bw
+    # Saturated but NIC still demand-limited at 5 cores.
+    p5 = predict_stream_vs_dma(HENRI, 5)
+    assert p5.controller_saturated and p5.nic_demand_limited
+    assert p5.stream_per_core < HENRI.memory.per_core_bw
+    # Fully bottlenecked at 35 cores: NIC on its weighted share.
+    p35 = predict_stream_vs_dma(HENRI, 35)
+    assert not p35.nic_demand_limited
+    assert p35.nic_rate == pytest.approx(
+        HENRI.nic.dma_weight * p35.stream_per_core, rel=1e-6)
+
+
+def test_predict_fig4b_shape():
+    curve = predict_fig4b(HENRI, core_counts=[0, 3, 5, 12, 18])
+    nic = [x[2] for x in curve]
+    # Monotone non-increasing NIC bandwidth with more cores.
+    assert all(a >= b * (1 - 1e-9) for a, b in zip(nic, nic[1:]))
+    # Endpoints: near wire speed alone, well below half at 18 cores.
+    assert nic[0] > 0.9 * HENRI.nic.wire_bw * 0.8
+    assert nic[-1] < 0.6 * nic[0]
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=0, max_value=40))
+def test_closed_form_conservation(n):
+    p = predict_stream_vs_dma(HENRI, n)
+    usage = (n * p.stream_per_core
+             + HENRI.nic.dma_usage * p.nic_rate)
+    assert usage <= HENRI.memory.controller_bw * (1 + 1e-9)
+    if p.controller_saturated and n > 0:
+        assert usage == pytest.approx(HENRI.memory.controller_bw,
+                                      rel=1e-6)

@@ -1,0 +1,53 @@
+"""Tests for the NetPIPE characterisation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.netpipe import (
+    NetPipeCurve, fit_postal, measure_netpipe, n_half,
+)
+from repro.hardware import HENRI
+
+
+@pytest.fixture(scope="module")
+def curve():
+    sizes = [1 << i for i in range(2, 27, 2)]
+    return measure_netpipe(HENRI, sizes=sizes, reps=6)
+
+
+def test_curve_shape(curve):
+    # Latency monotone in size; bandwidth monotone too.
+    assert list(curve.latencies) == sorted(curve.latencies)
+    bws = curve.bandwidths
+    assert bws[-1] > bws[0]
+    assert curve.zero_latency == pytest.approx(1.41e-6, rel=0.1)
+    assert curve.asymptotic_bandwidth == pytest.approx(10.4e9, rel=0.05)
+
+
+def test_postal_fit_recovers_wire_bandwidth(curve):
+    alpha, beta = fit_postal(curve,
+                             min_size=HENRI.nic.eager_threshold * 2)
+    # β approaches the wire goodput; α stays in the tens of microseconds
+    # (handshake + registration-free rendezvous startup).
+    assert beta == pytest.approx(curve.asymptotic_bandwidth, rel=0.1)
+    assert 0 < alpha < 50e-6
+
+
+def test_postal_fit_validation():
+    c = NetPipeCurve(sizes=np.array([4.0]),
+                     latencies=np.array([1e-6]))
+    with pytest.raises(ValueError):
+        fit_postal(c)
+
+
+def test_n_half_between_latency_and_bandwidth_regimes(curve):
+    nh = n_half(curve)
+    # Half performance is reached somewhere between the eager threshold
+    # and a few MB — the classic IB regime.
+    assert 8 * 1024 < nh < 8 * 1024 * 1024
+
+
+def test_row_accessor(curve):
+    size, lat, bw = curve.row(0)
+    assert size == 4
+    assert bw == pytest.approx(size / lat)

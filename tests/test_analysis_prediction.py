@@ -1,0 +1,86 @@
+"""The §8 interference predictor vs the full simulation."""
+
+import pytest
+
+from repro.analysis.prediction import (
+    core_demand_from_intensity, predict_interference,
+)
+from repro.core.placement import Placement
+from repro.hardware import HENRI
+
+
+def test_demand_from_intensity_regimes():
+    # Memory-bound: full per-core demand.
+    low = core_demand_from_intensity(HENRI, 1 / 12)
+    assert low == HENRI.memory.per_core_bw
+    # CPU-bound: demand shrinks with intensity.
+    hi = core_demand_from_intensity(HENRI, 40.0)
+    assert hi < 0.1 * low
+    # AVX kernels consume bytes faster at the same intensity.
+    assert core_demand_from_intensity(HENRI, 40.0, vector=True) > hi
+
+
+def test_prediction_bounds():
+    for n in (0, 5, 20, 35):
+        p = predict_interference(HENRI, n)
+        assert p.latency_ratio >= 1.0
+        assert 0 < p.bandwidth_ratio <= 1.0
+        assert p.compute_slowdown >= 1.0
+
+
+def test_predicts_fig4a_shape():
+    """Latency: flat for few cores, ~2x at full count (far thread)."""
+    few = predict_interference(HENRI, 5)
+    full = predict_interference(HENRI, 35)
+    assert few.latency_ratio < 1.1
+    assert full.latency_ratio == pytest.approx(2.0, rel=0.3)
+
+
+def test_predicts_fig4b_shape():
+    """Bandwidth: ~1/3 at full count."""
+    full = predict_interference(HENRI, 35)
+    assert full.bandwidth_ratio == pytest.approx(1 / 3, abs=0.1)
+    none = predict_interference(HENRI, 0)
+    assert none.bandwidth_ratio == pytest.approx(1.0, abs=0.01)
+
+
+def test_predicts_fig7_ridge():
+    """Degradation fades as intensity crosses the henri ridge (~6)."""
+    low = predict_interference(HENRI, 35, intensity=1 / 12)
+    mid = predict_interference(HENRI, 35, intensity=6.0)
+    hi = predict_interference(HENRI, 35, intensity=40.0)
+    assert low.bandwidth_ratio < 0.5
+    assert hi.bandwidth_ratio > 0.9
+    assert low.bandwidth_ratio < mid.bandwidth_ratio < hi.bandwidth_ratio
+    assert hi.latency_ratio < 1.15 < low.latency_ratio
+
+
+def test_near_thread_predicts_milder_latency():
+    far = predict_interference(HENRI, 35,
+                               placement=Placement("near", "far"))
+    near = predict_interference(HENRI, 35,
+                                placement=Placement("near", "near"))
+    assert near.latency_ratio < far.latency_ratio
+    assert near.latency_ratio < 1.6
+
+
+def test_prediction_matches_simulation_fig4b():
+    """End-to-end check: predictor vs simulator within ~15 %."""
+    from repro.core import experiments as E
+    sim = E.fig4b(core_counts=[0, 5, 20, 35], reps=3)
+    base = sim["comm_together_bw"].median[0]
+    for n in (5, 20, 35):
+        simulated = sim["comm_together_bw"].at(n) / base
+        predicted = predict_interference(HENRI, n).bandwidth_ratio
+        assert predicted == pytest.approx(simulated, abs=0.15)
+
+
+def test_prediction_matches_simulation_fig7_latency():
+    from repro.core import experiments as E
+    sim = E.fig7a(cursors=[1, 72, 480], reps=3, elems=800_000)
+    alone = sim["comm_alone"].median[0]
+    for cursor, intensity in ((1, 1 / 12), (480, 40.0)):
+        simulated = sim["comm_together"].at(intensity) / alone
+        predicted = predict_interference(
+            HENRI, 35, intensity=intensity).latency_ratio
+        assert predicted == pytest.approx(simulated, rel=0.25)

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, run_experiment
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1a", "fig4b", "fig10", "table1", "fig5"):
+        assert name in out
+
+
+def test_unknown_experiment_rejected(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+
+
+def test_run_fast_experiment(capsys, tmp_path):
+    out_path = tmp_path / "record.md"
+    assert main(["run", "fig8", "--fast", "--out", str(out_path)]) == 0
+    captured = capsys.readouterr().out
+    assert "fig8" in captured
+    assert out_path.exists()
+    assert "## fig8" in out_path.read_text()
+
+
+def test_run_experiment_api():
+    res = run_experiment("runtime_overhead", fast=True)
+    assert res.observations["overhead_s"] > 0
+
+
+def test_run_fig9_renders(capsys):
+    assert main(["run", "fig9", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "backoff" in out
+
+
+def test_all_registered_experiments_have_fast_params():
+    from repro.cli import _FAST_KWARGS
+    for name in EXPERIMENTS:
+        assert name in _FAST_KWARGS or name in ("fig1a", "fig1b")

@@ -1,0 +1,50 @@
+"""Tests for the multi-pair ping-pong extension."""
+
+import pytest
+
+from repro.core.multipair import (
+    multipair_experiment, run_multipair,
+)
+from repro.hardware import HENRI
+
+
+def test_single_pair_matches_plain_pingpong():
+    res = run_multipair(1, size=4, reps=10)
+    assert 1e-6 < res.median_latency < 3e-6
+    assert res.aggregate_bandwidth == res.per_pair_bandwidth
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_multipair(0, size=4)
+    with pytest.raises(ValueError):
+        run_multipair(1000, size=4)
+
+
+def test_wire_shared_for_large_messages():
+    """Per-pair bandwidth ~1/k; aggregate stays near the wire limit."""
+    size = 16 << 20
+    one = run_multipair(1, size=size, reps=4)
+    four = run_multipair(4, size=size, reps=4)
+    assert four.per_pair_bandwidth < 0.45 * one.per_pair_bandwidth
+    assert four.aggregate_bandwidth > 0.8 * one.aggregate_bandwidth
+
+
+def test_small_message_latency_mildly_affected():
+    one = run_multipair(1, size=4, reps=10)
+    eight = run_multipair(8, size=4, reps=10)
+    # Small messages don't saturate anything: each pair's latency stays
+    # within a small factor of the single-pair case.
+    assert eight.median_latency < 1.5 * one.median_latency
+
+
+def test_experiment_series_and_observation():
+    res = multipair_experiment(pair_counts=[1, 2, 4],
+                               sizes=[4, 16 << 20], reps=4)
+    big = 16 << 20
+    agg = res[f"aggregate_bw_{big}"]
+    assert len(agg) == 3
+    # Aggregate bandwidth is conserved within 20 %.
+    assert res.observations["aggregate_bw_retained"] > 0.8
+    per_pair = res[f"per_pair_bw_{big}"]
+    assert per_pair.median[0] > per_pair.median[-1]

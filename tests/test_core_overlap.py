@@ -1,0 +1,45 @@
+"""Tests for the overlap benchmark extension."""
+
+import pytest
+
+from repro.core.overlap import (
+    OverlapResult, measure_overlap, overlap_experiment,
+)
+from repro.kernels import prime_kernel, tunable_triad
+
+
+def test_overlap_result_metrics():
+    res = OverlapResult(message_size=100, n_compute_cores=1,
+                        t_comm=1.0, t_comp=3.0, t_overlap=3.0)
+    assert res.overlap_ratio == pytest.approx(1.0)   # fully hidden
+    assert res.slowdown == pytest.approx(1.0)
+    serial = OverlapResult(message_size=100, n_compute_cores=1,
+                           t_comm=1.0, t_comp=3.0, t_overlap=4.0)
+    assert serial.overlap_ratio == pytest.approx(0.0)
+
+
+def test_cpu_bound_compute_overlaps_fully():
+    """A dedicated comm thread hides a message behind CPU-bound compute."""
+    res = measure_overlap(
+        message_size=1 << 20, n_compute_cores=4,
+        kernel_factory=lambda: prime_kernel(n=2_000_000))
+    assert res.t_comp > res.t_comm       # compute dominates
+    assert res.overlap_ratio > 0.85
+    assert res.slowdown < 1.1
+
+
+def test_memory_bound_compute_limits_overlap():
+    """§4's coupling: the message and the kernels share the memory bus,
+    so overlapping them is slower than the ideal max()."""
+    res = measure_overlap(
+        message_size=64 << 20, n_compute_cores=12,
+        kernel_factory=lambda: tunable_triad(1, elems=2_000_000))
+    assert res.slowdown > 1.1
+
+
+def test_overlap_experiment_series():
+    result = overlap_experiment(sizes=[65536, 8 << 20],
+                                n_compute_cores=6)
+    assert len(result["overlap_ratio"]) == 2
+    assert 0 <= result.observations["min_overlap_ratio"] <= 1.05
+    assert result.observations["max_slowdown"] >= 1.0

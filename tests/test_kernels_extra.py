@@ -1,0 +1,104 @@
+"""Tests for the extended kernel set and the native STREAM runner."""
+
+import math
+
+import pytest
+
+from repro.hardware import Cluster, HENRI
+from repro.kernels import run_kernel
+from repro.kernels.extra import (
+    add_kernel, dgemm_kernel, scale_kernel, spmv_kernel, stencil_kernel,
+)
+from repro.kernels.native import (
+    NativeStreamResult, run_native_stream,
+)
+
+
+@pytest.fixture
+def machine():
+    return Cluster(HENRI, 1).machine(0)
+
+
+def test_stream_quartet_intensities():
+    assert scale_kernel().intensity == pytest.approx(1 / 16)
+    assert add_kernel().intensity == pytest.approx(1 / 24)
+
+
+def test_spmv_deeply_memory_bound():
+    # ~0.12 flop/B including index traffic: far below any ridge.
+    assert spmv_kernel().intensity < 0.2
+    with pytest.raises(ValueError):
+        spmv_kernel(rows=0)
+
+
+def test_stencil_blocking_changes_intensity():
+    blocked = stencil_kernel(blocked=True)
+    unblocked = stencil_kernel(blocked=False)
+    assert blocked.intensity > unblocked.intensity
+    assert blocked.intensity == pytest.approx(0.5)
+    with pytest.raises(ValueError):
+        stencil_kernel(n=4)
+
+
+def test_dgemm_cpu_bound():
+    k = dgemm_kernel(n=1024, block=192)
+    assert k.intensity > 20
+    assert k.vector
+    with pytest.raises(ValueError):
+        dgemm_kernel(n=64, block=192)
+
+
+def test_spmv_runs_and_stalls(machine):
+    run = run_kernel(machine, 0, spmv_kernel(rows=100_000), sweeps=1)
+    machine.sim.run()
+    assert run.stats.stall_fraction > 0.85
+    assert run.stats.memory_bandwidth == pytest.approx(
+        HENRI.memory.per_core_bw, rel=0.1)
+
+
+def test_dgemm_runs_without_stalls(machine):
+    run = run_kernel(machine, 0, dgemm_kernel(n=512, block=128), sweeps=1)
+    machine.sim.run()
+    assert run.stats.stall_fraction < 0.1
+    # Near the AVX peak at the 1-core license frequency.
+    peak = HENRI.avx_flops_per_cycle * HENRI.freq.avx512.frequency(1)
+    assert run.stats.flop_rate == pytest.approx(peak, rel=0.15)
+
+
+def test_stencil_interferes_with_network(machine=None):
+    """New kernels slot straight into the paper's §4 protocol."""
+    from repro.core.sidebyside import (
+        SideBySideConfig, run_throughput_protocol,
+    )
+    from repro.mpi.pingpong import BANDWIDTH_SIZE
+    cfg = SideBySideConfig(
+        n_compute_cores=12, message_size=BANDWIDTH_SIZE, reps=3,
+        kernel_factory=lambda: stencil_kernel(n=128, blocked=False),
+        window=0.03, window_warmup=0.01)
+    out = run_throughput_protocol(cfg)
+    assert out.comm_together.median_latency > \
+        1.2 * out.comm_alone.median_latency
+
+
+# -- native STREAM ----------------------------------------------------------
+
+def test_native_stream_runs():
+    res = run_native_stream("triad", elems=1_000_000, iterations=2)
+    assert isinstance(res, NativeStreamResult)
+    assert res.bandwidth > 1e8      # any real machine beats 0.1 GB/s
+    assert "triad" in res.summary()
+
+
+def test_native_copy_and_tunable():
+    copy = run_native_stream("copy", elems=500_000, iterations=2)
+    assert copy.bytes_per_iteration == 500_000 * 16
+    tun = run_native_stream("tunable_triad", elems=500_000,
+                            iterations=2, cursor=4)
+    assert tun.bytes_per_iteration == 500_000 * 24 * 4
+
+
+def test_native_validation():
+    with pytest.raises(ValueError):
+        run_native_stream("fft")
+    with pytest.raises(ValueError):
+        run_native_stream("copy", elems=0)

@@ -1,0 +1,48 @@
+"""Tests for NUMA buffer allocation helpers."""
+
+import pytest
+
+from repro.hardware import Cluster, HENRI, allocate, allocate_interleaved
+from repro.hardware.memory import Buffer
+
+
+@pytest.fixture
+def machine():
+    return Cluster(HENRI, 1).machine(0)
+
+
+def test_allocate_basic(machine):
+    buf = allocate(machine, 2, 4096, label="x")
+    assert buf.numa_id == 2
+    assert buf.size == 4096
+    assert buf.numa is machine.numa_nodes[2]
+    assert buf.label == "x"
+
+
+def test_allocate_validation(machine):
+    with pytest.raises(ValueError):
+        allocate(machine, 9, 10)
+    with pytest.raises(ValueError):
+        allocate(machine, 0, -1)
+
+
+def test_buffer_identity(machine):
+    a = allocate(machine, 0, 10)
+    b = allocate(machine, 0, 10)
+    assert a != b
+    assert a == a
+    assert len({a, b}) == 2   # hashable, distinct
+    assert a != "not a buffer"
+
+
+def test_interleaved_round_robin(machine):
+    bufs = allocate_interleaved(machine, 64, count=10, label="tile")
+    assert len(bufs) == 10
+    assert [b.numa_id for b in bufs] == [i % 4 for i in range(10)]
+    assert bufs[3].label == "tile[3]"
+
+
+def test_buffer_ids_monotone(machine):
+    a = allocate(machine, 0, 1)
+    b = allocate(machine, 0, 1)
+    assert b.id > a.id

@@ -1,0 +1,77 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.core.plotting import ascii_plot, plot_experiment
+from repro.core.results import ExperimentResult, Series
+
+
+def make_series(label="s", xs=(1, 2, 3), ys=(1.0, 4.0, 9.0)):
+    s = Series(label=label)
+    for x, y in zip(xs, ys):
+        s.add_value(x, y)
+    return s
+
+
+def test_empty_plot():
+    assert ascii_plot([]) == "(no data)\n"
+    assert ascii_plot([Series(label="empty")]) == "(no data)\n"
+
+
+def test_plot_contains_glyphs_and_legend():
+    text = ascii_plot([make_series("alpha"), make_series("beta",
+                                                         ys=(9, 4, 1))],
+                      width=40, height=10, title="demo")
+    assert "demo" in text
+    assert "o alpha" in text and "x beta" in text
+    assert "o" in text and "x" in text
+    assert "+" + "-" * 40 in text
+
+
+def test_plot_monotone_series_orientation():
+    text = ascii_plot([make_series(ys=(1, 2, 3))], width=30, height=8)
+    lines = [l.split("|", 1)[1] for l in text.splitlines()
+             if "|" in l]
+    # Highest value's glyph is on the top row, lowest on the bottom.
+    assert "o" in lines[0]
+    assert "o" in lines[-1]
+    top_col = lines[0].index("o")
+    bottom_col = lines[-1].index("o")
+    assert top_col > bottom_col     # rising curve
+
+
+def test_log_axes_safe_with_nonpositive_values():
+    s = make_series(xs=(0, 1, 2), ys=(0.0, 1.0, 2.0))
+    text = ascii_plot([s], log_x=True, log_y=True)
+    assert "(no data)" not in text  # silently falls back to linear
+
+
+def test_single_point_series():
+    s = make_series(xs=(5,), ys=(7.0,))
+    text = ascii_plot([s], width=20, height=5)
+    assert "o" in text
+
+
+def test_plot_experiment_autolog():
+    res = ExperimentResult(name="figX", title="demo sweep")
+    s = res.new_series("comm_alone")
+    for size in (4, 1024, 1 << 20, 64 << 20):
+        s.add_value(size, size / 1e9 + 1e-6)
+    text = plot_experiment(res)
+    assert "figX" in text
+    assert "comm_alone" in text
+
+
+def test_plot_experiment_respects_keys():
+    res = ExperimentResult(name="f", title="t")
+    res.new_series("a").add_value(1, 1)
+    res.new_series("b").add_value(1, 2)
+    text = plot_experiment(res, keys=["b"])
+    assert "b" in text and " a" not in text.split("\n")[-2]
+
+
+def test_cli_plot_flag(capsys):
+    from repro.cli import main
+    assert main(["run", "fig8", "--fast", "--plot"]) == 0
+    out = capsys.readouterr().out
+    assert "|" in out  # chart axis rendered

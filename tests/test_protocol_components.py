@@ -1,0 +1,127 @@
+"""Component-level tests for the protocol engine internals."""
+
+import pytest
+
+from repro.hardware import BORA, Cluster, HENRI
+from repro.mpi import CommWorld
+from repro.netmodel.protocols import _EAGER_FLOW_MIN, ProtocolEngine
+
+
+def make_world(spec=HENRI, placement="near"):
+    return CommWorld(Cluster(spec, 2), comm_placement=placement)
+
+
+def transfer(world, size, src_numa=None, dst_numa=None):
+    a, b = world.rank(0), world.rank(1)
+    src = a.buffer(size, src_numa)
+    dst = b.buffer(size, dst_numa)
+    proc = world.sim.process(world.engine.half_transfer(
+        a.node_id, a.comm_core, src, b.node_id, b.comm_core, dst, size))
+    world.sim.run()
+    return proc.value
+
+
+def test_transfer_record_fields():
+    world = make_world()
+    rec = transfer(world, 4)
+    assert rec.size == 4
+    assert rec.protocol == "eager"
+    assert rec.end > rec.start
+    assert rec.bandwidth == pytest.approx(4 / rec.duration)
+    zero = transfer(world, 0)
+    assert zero.bandwidth == 0.0 or zero.duration > 0
+
+
+def test_eager_analytic_fast_path_boundary():
+    """Messages below the analytic threshold produce no fluid flows."""
+    world = make_world()
+    small = transfer(world, _EAGER_FLOW_MIN - 1)
+    large = transfer(world, _EAGER_FLOW_MIN)
+    # Same protocol either side of the internal boundary...
+    assert small.protocol == large.protocol == "eager"
+    # ...and continuous timing across it.
+    assert large.duration == pytest.approx(small.duration, rel=0.15)
+
+
+def test_doorbell_pays_uncore_frequency():
+    world = make_world()
+    m = world.rank(0).machine
+    core = world.rank(0).comm_core
+    lo = ProtocolEngine._doorbell(m, core)
+    m.set_uncore(HENRI.uncore.max_hz)
+    hi = ProtocolEngine._doorbell(m, core)
+    assert hi == pytest.approx(lo / 2, rel=0.01)  # 1.2 vs 2.4 GHz
+
+
+def test_runtime_overhead_fields_default_zero():
+    world = make_world()
+    engine = world.engine
+    assert engine.extra_cycles_send == 0.0
+    assert engine.extra_delay_recv == 0.0
+    rec1 = transfer(world, 4)
+    engine.extra_delay_send = 10e-6
+    rec2 = transfer(world, 4)
+    assert rec2.duration == pytest.approx(rec1.duration + 10e-6, rel=0.1)
+
+
+def test_rendezvous_handshake_scales_with_rtt_factor():
+    import dataclasses
+    spec_fast = HENRI.with_overrides(
+        nic=dataclasses.replace(HENRI.nic, rndv_rtt_factor=1.0))
+    spec_slow = HENRI.with_overrides(
+        nic=dataclasses.replace(HENRI.nic, rndv_rtt_factor=4.0))
+    size = 256 * 1024
+    fast = transfer(make_world(spec_fast), size)
+    slow = transfer(make_world(spec_slow), size)
+    assert slow.components["protocol"] == pytest.approx(
+        4 * fast.components["protocol"], rel=0.01)
+    assert slow.duration > fast.duration
+
+
+def test_bora_onload_caps_dma_rate():
+    """Omni-Path-style onload: large transfers capped by the CPU copy."""
+    rec = transfer(make_world(BORA), 64 << 20)
+    assert rec.protocol == "rendezvous"
+    assert rec.bandwidth <= 4 * BORA.nic.eager_copy_bw * 1.05
+
+
+def test_cross_numa_buffers_slow_bandwidth():
+    """Data far from the NIC crosses the socket link (Table 1)."""
+    near = transfer(make_world(), 64 << 20, src_numa=0, dst_numa=0)
+    far = transfer(make_world(), 64 << 20, src_numa=3, dst_numa=3)
+    # Idle machine: the link (19 GB/s) still exceeds the wire, so only
+    # mild slowdown; under load it collapses (tested in fig5 benches).
+    assert far.duration >= near.duration * 0.99
+
+
+def test_serial_queue_fifo_and_errors():
+    from repro.mpi.p2p import _SerialQueue
+    from repro.sim import Simulator
+    sim = Simulator()
+    queue = _SerialQueue(sim)
+    order = []
+
+    def job(i, fail=False):
+        yield 1.0
+        if fail:
+            raise RuntimeError(f"boom{i}")
+        order.append(i)
+        return i
+
+    d1 = queue.submit(job(1))
+    d2 = queue.submit(job(2, fail=True))
+    d3 = queue.submit(job(3))
+    sim.run()
+    assert order == [1, 3]
+    assert d1.ok and d1.value == 1
+    assert d2.triggered and not d2.ok
+    assert d3.ok and d3.value == 3
+    assert sim.now == pytest.approx(3.0)  # strictly serial
+
+
+def test_transfer_noise_bounded():
+    """Measured latencies stay within a tight band around the median."""
+    world = make_world()
+    durations = [transfer(world, 4).duration for _ in range(50)]
+    lo, hi = min(durations), max(durations)
+    assert hi / lo < 1.25

@@ -1,0 +1,171 @@
+"""Tests for worker pause/resume and the §8 worker-count autotuner."""
+
+import pytest
+
+from repro.hardware import Cluster, HENRI, allocate
+from repro.kernels.blas import TileCost, gemv_tile_cost
+from repro.mpi import CommWorld
+from repro.runtime import AccessMode, DataHandle, RuntimeSystem, Task
+from repro.runtime.autotune import (
+    AutotuneConfig, WorkerAutotuner,
+)
+
+
+def make_runtime(n_workers=8):
+    cluster = Cluster(HENRI, 2)
+    world = CommWorld(cluster, comm_placement="far")
+    rt = RuntimeSystem(world, 0, n_workers=n_workers).start()
+    return cluster, rt
+
+
+def cpu_task(name="t"):
+    return Task(name=name, cost=TileCost("cpu", 1e7, 0.0), rank=0)
+
+
+def memory_task(machine, numa=0):
+    h = DataHandle(buffer=allocate(machine, numa, 1 << 20))
+    return Task(name="mem", cost=gemv_tile_cost(1000, 8000),
+                accesses=[(h, AccessMode.R)], rank=0)
+
+
+# -- pause / resume ---------------------------------------------------------
+
+def test_set_active_workers_bounds():
+    cluster, rt = make_runtime(8)
+    assert rt.active_workers == 8
+    rt.set_active_workers(3)
+    assert rt.active_workers == 3
+    rt.set_active_workers(8)
+    assert rt.active_workers == 8
+    with pytest.raises(ValueError):
+        rt.set_active_workers(9)
+    with pytest.raises(ValueError):
+        rt.set_active_workers(-1)
+
+
+def test_paused_workers_take_no_tasks():
+    cluster, rt = make_runtime(8)
+    rt.set_active_workers(2)
+    for i in range(12):
+        rt.submit(cpu_task(f"t{i}"))
+    rt.wait_all()
+    cluster.sim.run()
+    executors = [w for w in rt.workers if w.tasks_executed > 0]
+    assert len(executors) <= 2
+    assert sum(w.tasks_executed for w in rt.workers) == 12
+
+
+def test_resume_restores_parallelism():
+    cluster, rt = make_runtime(8)
+    rt.set_active_workers(1)
+    rt.submit(cpu_task())
+    rt.wait_all()
+    cluster.sim.run()
+    rt.set_active_workers(8)
+    for i in range(8):
+        rt.submit(cpu_task(f"p{i}"))
+    rt.wait_all()
+    t0 = cluster.sim.now
+    cluster.sim.run()
+    elapsed = cluster.sim.now - t0
+    # 8 tasks across 8 workers: roughly one task's duration.
+    single = rt.workers[0].busy_time / rt.workers[0].tasks_executed
+    assert elapsed < 2.5 * single
+
+
+def test_paused_workers_do_not_count_as_pollers():
+    cluster, rt = make_runtime(8)
+    cluster.sim.run(until=0.001)  # everyone idle-polling
+    assert rt.scheduler.idle_pollers == 8
+    rt.set_active_workers(2)
+    cluster.sim.run(until=0.002)
+    assert rt.scheduler.idle_pollers <= 2
+
+
+# -- autotuner ----------------------------------------------------------
+
+def test_autotune_config_validation():
+    with pytest.raises(ValueError):
+        AutotuneConfig(window=0)
+    with pytest.raises(ValueError):
+        AutotuneConfig(step=0)
+
+
+def test_autotuner_double_start_rejected():
+    cluster, rt = make_runtime(4)
+    tuner = WorkerAutotuner(rt).start()
+    with pytest.raises(RuntimeError):
+        tuner.start()
+    tuner.stop()
+
+
+def test_autotuner_reduces_workers_for_memory_bound_load():
+    """§8: with a saturated memory bus, fewer workers are optimal."""
+    cluster, rt = make_runtime(30)
+    machine = rt.machine
+
+    # Keep a continuous stream of memory-bound tasks flowing.
+    def feeder():
+        while cluster.sim.now < 1.2:
+            while len(rt.scheduler) < 60:
+                rt.submit(memory_task(machine,
+                                      numa=rt.scheduler.stats.pushed % 4))
+            yield 5e-3
+
+    cluster.sim.process(feeder())
+    tuner = WorkerAutotuner(rt, config=AutotuneConfig(window=30e-3)).start()
+    cluster.sim.run(until=1.2)
+    tuner.stop()
+    rt.shutdown()
+    cluster.sim.run()
+    assert len(tuner.history) > 10
+    # The memory system saturates at ~16 streaming workers (4 per
+    # controller); the tuner must shed the purely-stalling surplus.
+    assert tuner.chosen_workers < 28
+    assert tuner.chosen_workers >= 14   # ...but not below the knee
+
+
+def test_autotuner_keeps_workers_for_cpu_bound_load():
+    """Compute-bound load: no contention, nothing gets paused."""
+    cluster, rt = make_runtime(8)
+
+    def feeder():
+        while cluster.sim.now < 0.4:
+            while len(rt.scheduler) < 30:
+                rt.submit(cpu_task(f"t{rt.scheduler.stats.pushed}"))
+            yield 5e-3
+
+    cluster.sim.process(feeder())
+    tuner = WorkerAutotuner(rt, config=AutotuneConfig(window=20e-3)).start()
+    cluster.sim.run(until=0.4)
+    tuner.stop()
+    rt.shutdown()
+    cluster.sim.run()
+    assert tuner.chosen_workers == 8
+
+
+def test_autotuner_history_records_samples():
+    cluster, rt = make_runtime(4)
+    for i in range(50):
+        rt.submit(cpu_task(f"t{i}"))
+    tuner = WorkerAutotuner(rt, config=AutotuneConfig(window=2e-3)).start()
+    rt.wait_all()
+    cluster.sim.run(until=0.05)
+    tuner.stop()
+    rt.shutdown()
+    cluster.sim.run()
+    assert tuner.history
+    sample = tuner.history[0]
+    assert sample.stall_fraction >= 0
+    assert sample.action in ("pause", "resume", "hold", "idle")
+    assert 1 <= sample.active_workers <= 4
+
+
+def test_cg_autotune_improves_comm_without_slowdown():
+    """The §8 payoff on CG: same duration, better sending bandwidth."""
+    from repro.runtime.apps import run_cg
+    fixed = run_cg(n_workers=34, n=60_000, iterations=3)
+    tuned = run_cg(n_workers=34, n=60_000, iterations=3, autotune=True)
+    assert tuned.duration < fixed.duration * 1.15
+    assert tuned.sending_bandwidth >= fixed.sending_bandwidth * 0.95
+    assert tuned.stall_fraction <= fixed.stall_fraction

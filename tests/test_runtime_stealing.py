@@ -1,0 +1,124 @@
+"""Tests for the work-stealing scheduler alternative."""
+
+import pytest
+
+from repro.hardware import Cluster, HENRI, allocate
+from repro.kernels.blas import TileCost
+from repro.mpi import CommWorld
+from repro.runtime import (
+    AccessMode, DataHandle, PollingSpec, RuntimeSystem, Task,
+)
+from repro.runtime.stealing import WorkStealingScheduler
+
+
+def make_sched(machine=None):
+    return WorkStealingScheduler(machine=machine)
+
+
+def make_task(name="t", machine=None, numa=None):
+    accesses = []
+    if machine is not None and numa is not None:
+        h = DataHandle(buffer=allocate(machine, numa, 64))
+        accesses = [(h, AccessMode.R)]
+    return Task(name=name, cost=TileCost("cpu", 1e6, 0.0),
+                accesses=accesses)
+
+
+def test_own_deque_lifo():
+    sched = make_sched()
+    sched.register_worker(0)
+    t1, t2 = make_task("t1"), make_task("t2")
+    sched.push(t1)
+    sched.push(t2)
+    # Both land in the only deque; own pop is LIFO.
+    assert sched.pop(core_id=0) in (t1, t2)
+    assert len(sched) == 1
+
+
+def test_steal_from_other_worker():
+    machine = Cluster(HENRI, 1).machine(0)
+    sched = make_sched(machine)
+    sched.register_worker(0)    # socket 0
+    sched.register_worker(20)   # socket 1
+    # Locality routes a socket-0 task to worker 0's deque.
+    task = make_task(machine=machine, numa=0)
+    sched.push(task)
+    # Worker 20 has nothing: it steals.
+    assert sched.pop(core_id=20) is task
+    assert sched.steals == 1
+
+
+def test_locality_routing():
+    machine = Cluster(HENRI, 1).machine(0)
+    sched = make_sched(machine)
+    sched.register_worker(0)    # socket 0
+    sched.register_worker(20)   # socket 1
+    near = make_task(machine=machine, numa=0)
+    far = make_task(machine=machine, numa=3)
+    sched.push(near)
+    sched.push(far)
+    # Each worker finds its local task in its own deque (no steals).
+    assert sched.pop(core_id=0) is near
+    assert sched.pop(core_id=20) is far
+    assert sched.steals == 0
+
+
+def test_prestart_submissions_drain():
+    sched = make_sched()
+    task = make_task()
+    sched.push(task)            # no workers registered yet
+    sched.register_worker(5)
+    assert sched.pop(core_id=5) is task
+
+
+def test_empty_pop_returns_none():
+    sched = make_sched()
+    sched.register_worker(0)
+    assert sched.pop(core_id=0) is None
+
+
+def test_lower_message_lock_delay_than_eager():
+    from repro.runtime.scheduler import EagerScheduler
+    polling = PollingSpec(backoff_max_nops=32)
+    eager = EagerScheduler(polling)
+    steal = WorkStealingScheduler(polling)
+    eager.set_idle_pollers(34)
+    steal.set_idle_pollers(34)
+    assert steal.message_lock_delay() < 0.3 * eager.message_lock_delay()
+    with pytest.raises(ValueError):
+        steal.set_idle_pollers(-1)
+
+
+def test_runtime_executes_with_stealing_scheduler():
+    cluster = Cluster(HENRI, 2)
+    world = CommWorld(cluster, comm_placement="far")
+    machine = cluster.machine(0)
+    rt = RuntimeSystem(world, 0, n_workers=8,
+                       scheduler=WorkStealingScheduler(machine=machine))
+    rt.start()
+    tasks = [make_task(f"t{i}", machine=machine, numa=i % 4)
+             for i in range(24)]
+    for t in tasks:
+        rt.submit(t)
+    rt.wait_all()
+    cluster.sim.run()
+    assert all(t.done for t in tasks)
+    assert sum(w.tasks_executed for w in rt.workers) == 24
+
+
+def test_stealing_balances_load():
+    """All submissions target one NUMA node; stealing spreads the work."""
+    cluster = Cluster(HENRI, 2)
+    world = CommWorld(cluster, comm_placement="far")
+    machine = cluster.machine(0)
+    rt = RuntimeSystem(world, 0, n_workers=8,
+                       scheduler=WorkStealingScheduler(machine=machine))
+    rt.start()
+    for i in range(32):
+        rt.submit(make_task(f"t{i}", machine=machine, numa=0))
+    rt.wait_all()
+    cluster.sim.run()
+    executed = [w.tasks_executed for w in rt.workers]
+    assert sum(executed) == 32
+    # More than one worker participated (stealing happened).
+    assert sum(1 for e in executed if e > 0) >= 4

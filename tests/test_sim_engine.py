@@ -1,0 +1,294 @@
+"""Unit tests for the discrete-event engine (repro.sim.engine/events)."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, Interrupt, Simulator, SimulationError
+
+
+def test_time_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    out = []
+    sim.schedule(2.0, lambda: out.append("b"))
+    sim.schedule(1.0, lambda: out.append("a"))
+    sim.schedule(3.0, lambda: out.append("c"))
+    sim.run()
+    assert out == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fifo():
+    sim = Simulator()
+    out = []
+    for i in range(10):
+        sim.schedule(1.0, out.append, i)
+    sim.run()
+    assert out == list(range(10))
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(2.0, lambda: None)
+
+
+def test_cancel_handle():
+    sim = Simulator()
+    out = []
+    handle = sim.schedule(1.0, out.append, "x")
+    handle.cancel()
+    sim.run()
+    assert out == []
+
+
+def test_run_until_horizon():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, 1)
+    sim.schedule(10.0, out.append, 10)
+    sim.run(until=5.0)
+    assert out == [1]
+    assert sim.now == 5.0
+    sim.run()
+    assert out == [1, 10]
+
+
+def test_run_until_advances_time_when_queue_empty():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_peek_and_step():
+    sim = Simulator()
+    out = []
+    sim.schedule(1.0, out.append, "a")
+    sim.schedule(2.0, out.append, "b")
+    assert sim.peek() == 1.0
+    sim.step()
+    assert out == ["a"]
+    assert sim.peek() == 2.0
+    sim.step()
+    with pytest.raises(SimulationError):
+        sim.step()
+
+
+def test_peek_skips_cancelled():
+    sim = Simulator()
+    h = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h.cancel()
+    assert sim.peek() == 2.0
+
+
+def test_process_timeout_and_return_value():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 1.5
+        yield 0.5
+        return "finished"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert sim.now == 2.0
+    assert p.triggered and p.value == "finished"
+
+
+def test_process_waits_on_event():
+    sim = Simulator()
+    gate = sim.event()
+    out = []
+
+    def waiter(sim):
+        value = yield gate
+        out.append((sim.now, value))
+
+    sim.process(waiter(sim))
+    sim.schedule(3.0, gate.succeed, "go")
+    sim.run()
+    assert out == [(3.0, "go")]
+
+
+def test_process_waits_on_process():
+    sim = Simulator()
+    out = []
+
+    def child(sim):
+        yield 2.0
+        return 7
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        out.append((sim.now, value))
+
+    sim.process(parent(sim))
+    sim.run()
+    assert out == [(2.0, 7)]
+
+
+def test_failed_event_raises_in_process():
+    sim = Simulator()
+    gate = sim.event()
+    out = []
+
+    def waiter(sim):
+        try:
+            yield gate
+        except ValueError as err:
+            out.append(str(err))
+
+    sim.process(waiter(sim))
+    sim.schedule(1.0, gate.fail, ValueError("boom"))
+    sim.run()
+    assert out == ["boom"]
+
+
+def test_process_exception_propagates_to_waiter():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 1.0
+        raise RuntimeError("inner")
+
+    def outer(sim):
+        with pytest.raises(RuntimeError, match="inner"):
+            yield sim.process(bad(sim))
+        return "handled"
+
+    p = sim.process(outer(sim))
+    sim.run()
+    assert p.value == "handled"
+
+
+def test_yield_invalid_value_fails_process():
+    sim = Simulator()
+
+    def proc(sim):
+        yield "not an event"
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.triggered and not p.ok
+
+
+def test_interrupt():
+    sim = Simulator()
+    out = []
+
+    def sleeper(sim):
+        try:
+            yield 100.0
+        except Interrupt as intr:
+            out.append((sim.now, intr.cause))
+
+    p = sim.process(sleeper(sim))
+    sim.schedule(5.0, p.interrupt, "wake")
+    sim.run()
+    assert out == [(5.0, "wake")]
+
+
+def test_interrupt_after_completion_is_noop():
+    sim = Simulator()
+
+    def quick(sim):
+        yield 1.0
+        return "ok"
+
+    p = sim.process(quick(sim))
+    sim.run()
+    p.interrupt("late")
+    sim.run()
+    assert p.value == "ok"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_allof_collects_values_in_order():
+    sim = Simulator()
+    evts = [sim.timeout(3.0, "c"), sim.timeout(1.0, "a"), sim.timeout(2.0, "b")]
+    combined = AllOf(sim, evts)
+    sim.run()
+    assert combined.value == ["c", "a", "b"]
+
+
+def test_allof_empty_fires_immediately():
+    sim = Simulator()
+    combined = AllOf(sim, [])
+    assert combined.triggered and combined.value == []
+
+
+def test_anyof_first_wins():
+    sim = Simulator()
+    evts = [sim.timeout(3.0, "slow"), sim.timeout(1.0, "fast")]
+    first = AnyOf(sim, evts)
+    sim.run()
+    assert first.value == (1, "fast")
+
+
+def test_anyof_requires_events():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        AnyOf(sim, [])
+
+
+def test_nested_processes_deep_chain():
+    sim = Simulator()
+
+    def level(sim, depth):
+        if depth == 0:
+            yield 1.0
+            return 0
+        below = yield sim.process(level(sim, depth - 1))
+        return below + 1
+
+    p = sim.process(level(sim, 20))
+    sim.run()
+    assert p.value == 20
+    assert sim.now == 1.0
+
+
+def test_timeout_negative_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-0.5)
+
+
+def test_many_processes_determinism():
+    def run_once():
+        sim = Simulator()
+        out = []
+
+        def proc(sim, i):
+            yield (i % 5) * 0.1
+            out.append(i)
+            yield 0.05
+            out.append(-i)
+
+        for i in range(50):
+            sim.process(proc(sim, i))
+        sim.run()
+        return out
+
+    assert run_once() == run_once()
