@@ -89,14 +89,49 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-def run_experiment(name: str, spec: str = "henri", fast: bool = False):
+# Experiments whose sweeps are checkpointable through a CampaignJournal.
+_JOURNAL_CAPABLE = {"fig1", "fig1a", "fig1b", "fig4a", "fig4b", "fig5",
+                    "fig6a", "fig6b"}
+
+
+def run_experiment(name: str, spec: str = "henri", fast: bool = False,
+                   journal=None):
     """Run one named experiment; returns its result object."""
+    kwargs = dict(_FAST_KWARGS.get(name, {})) if fast else {}
+    if journal is not None and name in _JOURNAL_CAPABLE:
+        kwargs["journal"] = journal
     if name == "fig5":
-        kwargs = dict(_FAST_KWARGS["fig5"]) if fast else {}
         return E.fig5(spec=spec, **kwargs)
     func = EXPERIMENTS[name]
-    kwargs = dict(_FAST_KWARGS.get(name, {})) if fast else {}
     return func(spec=spec, **kwargs)
+
+
+def _build_fault_plan(args):
+    """Fault plan + reliability config from CLI flags (None, None when
+    fault injection is not requested — the zero-cost default path)."""
+    from repro.faults import FaultPlan, ReliabilityConfig, parse_fault
+
+    plan = None
+    seed = args.fault_seed if args.fault_seed is not None else 0
+    if args.fault:
+        plan = FaultPlan(seed=seed,
+                         faults=tuple(parse_fault(s) for s in args.fault))
+    elif args.fault_seed is not None:
+        plan = FaultPlan.random(args.fault_seed)
+
+    reliability = None
+    overrides = {}
+    if args.timeout is not None:
+        overrides["timeout_s"] = args.timeout
+    if args.max_retries is not None:
+        overrides["max_retries"] = args.max_retries
+    if overrides:
+        reliability = ReliabilityConfig(**overrides)
+        if plan is None:
+            # Reliability knobs imply the reliable transport even with
+            # an empty fault plan (e.g. to measure its pure overhead).
+            plan = FaultPlan(seed=seed, faults=())
+    return plan, reliability
 
 
 def _render(name: str, result) -> str:
@@ -138,6 +173,28 @@ def main(argv: Optional[list] = None) -> int:
                      help="write a markdown record to this path")
     run.add_argument("--plot", action="store_true",
                      help="render the series as an ASCII chart")
+    faults = run.add_argument_group(
+        "fault injection", "deterministic fault injection + reliable "
+        "transport (see docs/FAULTS.md)")
+    faults.add_argument("--fault", action="append", metavar="SPEC",
+                        help="inject one fault, repeatable; e.g. "
+                        "'fail_stop:node=1,at=0.01', "
+                        "'loss:loss_rate=0.05,start=0,duration=1', "
+                        "'link:src=0,dst=1,bw_factor=0.5,start=0,"
+                        "duration=1'")
+    faults.add_argument("--fault-seed", type=int, default=None,
+                        help="seed for fault randomness; without --fault "
+                        "this draws a random fault plan from the seed")
+    faults.add_argument("--timeout", type=float, default=None,
+                        help="transport retransmit timeout in seconds")
+    faults.add_argument("--max-retries", type=int, default=None,
+                        help="retransmissions before TransportError")
+    faults.add_argument("--journal", default=None, metavar="PATH",
+                        help="checkpoint sweep points to a JSON-lines "
+                        "campaign journal")
+    faults.add_argument("--resume", action="store_true",
+                        help="replay completed points from --journal and "
+                        "re-run only failed/missing ones")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -159,17 +216,37 @@ def main(argv: Optional[list] = None) -> int:
         parser.error(f"unknown experiment(s): {unknown}; "
                      f"try: {sorted(EXPERIMENTS)}")
 
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
+    try:
+        plan, reliability = _build_fault_plan(args)
+    except ValueError as err:
+        parser.error(str(err))
+
+    from contextlib import ExitStack
     sections: Dict[str, str] = {}
-    for name in names:
-        t0 = time.time()
-        result = run_experiment(name, spec=args.spec, fast=args.fast)
-        text = _render(name, result)
-        if getattr(args, "plot", False) and name not in ("fig5", "table1"):
-            from repro.core.plotting import plot_experiment
-            text += "\n" + plot_experiment(result)
-        sections[name] = text
-        print(text)
-        print(f"[{name} done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    with ExitStack() as stack:
+        if plan is not None:
+            from repro.faults import fault_context
+            stack.enter_context(fault_context(plan, reliability))
+        journal = None
+        if args.journal:
+            from repro.core.campaign import CampaignJournal
+            journal = stack.enter_context(
+                CampaignJournal(args.journal, resume=args.resume))
+        for name in names:
+            t0 = time.time()
+            result = run_experiment(name, spec=args.spec, fast=args.fast,
+                                    journal=journal)
+            text = _render(name, result)
+            if getattr(args, "plot", False) \
+                    and name not in ("fig5", "table1"):
+                from repro.core.plotting import plot_experiment
+                text += "\n" + plot_experiment(result)
+            sections[name] = text
+            print(text)
+            print(f"[{name} done in {time.time() - t0:.1f}s]",
+                  file=sys.stderr)
 
     if args.out:
         write_experiments_md(sections, path=args.out,

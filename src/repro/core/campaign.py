@@ -1,0 +1,170 @@
+"""Resumable experiment campaigns: per-point error boundaries + journal.
+
+A figure is a sweep of independent points (one simulated cluster per
+point).  Under fault injection a point may die mid-run — e.g. a
+fail-stop node raises :class:`~repro.faults.reliability.TransportError`
+through the ping-pong — and without a boundary that would lose the whole
+campaign.  :class:`SweepGuard` wraps each point:
+
+* on success, the point's appended series rows are written to a
+  :class:`CampaignJournal` (JSON lines, one entry per point);
+* on failure, partially-appended rows are rolled back so the series
+  stay rectangular, and a structured failure annotation is recorded in
+  ``ExperimentResult.failures`` (and journaled);
+* on resume, previously-``ok`` points are replayed from the journal
+  bit-identically (Python's ``json`` round-trips floats exactly) and
+  only failed/missing points are re-run.
+
+The journal is optional: with ``journal=None`` the guard still provides
+the error boundary, it just cannot resume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.results import ExperimentResult
+
+__all__ = ["CampaignJournal", "SweepGuard"]
+
+
+class CampaignJournal:
+    """JSON-lines checkpoint file for a campaign.
+
+    Each line is one completed (or failed) sweep point::
+
+        {"experiment": "fig1", "key": "core2.3_uncore2.4/size=4",
+         "status": "ok", "series": {"latency_...": [[x, med, p10, p90]]}}
+
+    With ``resume=False`` (the default) an existing file is truncated
+    and the campaign starts fresh; with ``resume=True`` prior entries
+    are loaded so :class:`SweepGuard` can replay ``ok`` points and
+    re-run only the failed/missing ones.
+    """
+
+    def __init__(self, path, resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        self._entries: Dict[Tuple[str, str], dict] = {}
+        if resume and self.path.exists():
+            self._load()
+        if self.path.parent != Path(""):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a" if resume else "w",
+                        encoding="utf-8")
+
+    def _load(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                self._entries[(entry["experiment"], entry["key"])] = entry
+
+    # -- queries -----------------------------------------------------------
+    def lookup(self, experiment: str, key: str) -> Optional[dict]:
+        return self._entries.get((experiment, key))
+
+    def completed(self, experiment: str) -> List[str]:
+        return [k for (exp, k), e in self._entries.items()
+                if exp == experiment and e["status"] == "ok"]
+
+    def failed(self, experiment: str) -> List[str]:
+        return [k for (exp, k), e in self._entries.items()
+                if exp == experiment and e["status"] != "ok"]
+
+    # -- recording ---------------------------------------------------------
+    def record(self, experiment: str, key: str, status: str,
+               series: Optional[dict] = None,
+               failure: Optional[dict] = None) -> None:
+        entry: dict = {"experiment": experiment, "key": key,
+                       "status": status}
+        if series:
+            entry["series"] = series
+        if failure:
+            entry["failure"] = failure
+        self._entries[(experiment, key)] = entry
+        self._fh.write(json.dumps(entry) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SweepGuard:
+    """Per-point error boundary (and journal hook) for one experiment."""
+
+    def __init__(self, result: ExperimentResult,
+                 journal: Optional[CampaignJournal] = None):
+        self.result = result
+        self.journal = journal
+        self.replayed: List[str] = []
+        self.failed: List[str] = []
+
+    def run_point(self, key: str, body: Callable[[], object]) -> str:
+        """Run one sweep point behind the boundary.
+
+        Returns ``"replayed"`` (journal hit), ``"ok"`` (ran), or
+        ``"failed"`` (recorded in ``result.failures``; series rolled
+        back to their pre-point length).
+        """
+        result = self.result
+        if self.journal is not None and self.journal.resume:
+            entry = self.journal.lookup(result.name, key)
+            if entry is not None and entry["status"] == "ok":
+                self._replay(entry)
+                self.replayed.append(key)
+                return "replayed"
+        snapshot = {k: len(s.x) for k, s in result.series.items()}
+        try:
+            body()
+        except Exception as err:
+            self._rollback(snapshot)
+            result.record_failure(key, err)
+            self.failed.append(key)
+            if self.journal is not None:
+                self.journal.record(result.name, key, "failed",
+                                    failure=result.failures[key])
+            return "failed"
+        if self.journal is not None:
+            self.journal.record(result.name, key, "ok",
+                                series=self._delta(snapshot))
+        return "ok"
+
+    # -- internals ---------------------------------------------------------
+    def _rollback(self, snapshot: Dict[str, int]) -> None:
+        for k, s in self.result.series.items():
+            n = snapshot.get(k, 0)
+            del s.x[n:], s.median[n:], s.p10[n:], s.p90[n:]
+
+    def _delta(self, snapshot: Dict[str, int]) -> dict:
+        out: dict = {}
+        for k, s in self.result.series.items():
+            n = snapshot.get(k, 0)
+            rows = [[x, m, lo, hi] for x, m, lo, hi
+                    in zip(s.x[n:], s.median[n:], s.p10[n:], s.p90[n:])]
+            if rows:
+                out[k] = rows
+        return out
+
+    def _replay(self, entry: dict) -> None:
+        for k, rows in entry.get("series", {}).items():
+            s = self.result.series.get(k)
+            if s is None:
+                s = self.result.new_series(k)
+            for x, med, lo, hi in rows:
+                s.x.append(x)
+                s.median.append(med)
+                s.p10.append(lo)
+                s.p90.append(hi)

@@ -31,6 +31,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.fitting import crossover_index, detect_ridge
+from repro.core.campaign import CampaignJournal, SweepGuard
 from repro.core.placement import (
     ALL_PLACEMENTS, Placement, comm_core_for, compute_core_ids,
     data_numa_for,
@@ -90,8 +91,15 @@ def default_size_sweep() -> List[int]:
 
 def fig1(spec: MachineSpec | str = "henri",
          sizes: Optional[Sequence[int]] = None,
-         reps: int = 15) -> ExperimentResult:
-    """Ping-pong latency/bandwidth for the four frequency corners."""
+         reps: int = 15,
+         journal: Optional[CampaignJournal] = None) -> ExperimentResult:
+    """Ping-pong latency/bandwidth for the four frequency corners.
+
+    Each (corner, size) point runs behind a :class:`SweepGuard`: a point
+    killed by fault injection is annotated in ``result.failures`` while
+    the rest of the figure completes, and with a *journal* the sweep is
+    checkpointed/resumable point by point.
+    """
     s = _spec(spec)
     if sizes is None:
         sizes = default_size_sweep()
@@ -105,6 +113,7 @@ def fig1(spec: MachineSpec | str = "henri",
     result = ExperimentResult(
         name="fig1", title="Impact of constant frequencies on network "
         "performance")
+    guard = SweepGuard(result, journal)
     for core_hz, uncore_hz in corners:
         key = f"core{core_hz/1e9:.1f}_uncore{uncore_hz/1e9:.1f}"
         lat = result.new_series(f"latency_{key}",
@@ -114,27 +123,49 @@ def fig1(spec: MachineSpec | str = "henri",
                                xlabel="message size (B)",
                                ylabel="bandwidth (B/s)")
         for size in sizes:
-            cluster = Cluster(s, n_nodes=2)
-            world = CommWorld(cluster, comm_placement="near")
-            for m in cluster.machines:
-                m.freq.set_userspace(core_hz)
-                m.set_uncore(uncore_hz)
-            res = PingPong(world).run(size, reps=reps)
-            lat.add(size, res.latencies)
-            bw.add(size, size / res.latencies)
+            def point(core_hz=core_hz, uncore_hz=uncore_hz, size=size,
+                      lat=lat, bw=bw):
+                cluster = Cluster(s, n_nodes=2)
+                world = CommWorld(cluster, comm_placement="near")
+                for m in cluster.machines:
+                    m.freq.set_userspace(core_hz)
+                    m.set_uncore(uncore_hz)
+                res = PingPong(world).run(size, reps=reps)
+                lat.add(size, res.latencies)
+                bw.add(size, size / res.latencies)
+            guard.run_point(f"{key}/size={size}", point)
+
     # Headline observations (paper: 1.8 µs vs 3.1 µs; ~10.5 vs 10.1 GB/s).
     # The paper's fig-1a latency anchors correspond to the idle-machine
     # uncore (its minimum): only the core frequency is swept.
-    hi = f"core{hi_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
-    lo = f"core{lo_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
-    result.observe("latency_high_core_s", result[f"latency_{hi}"].at(4))
-    result.observe("latency_low_core_s", result[f"latency_{lo}"].at(4))
-    umax = f"core{hi_core/1e9:.1f}_uncore{s.uncore.max_hz/1e9:.1f}"
-    umin = f"core{hi_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
-    big = max(sizes)
-    result.observe("bandwidth_uncore_max", result[f"bandwidth_{umax}"].at(big))
-    result.observe("bandwidth_uncore_min", result[f"bandwidth_{umin}"].at(big))
+    def observations():
+        hi = f"core{hi_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
+        lo = f"core{lo_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
+        result.observe("latency_high_core_s", result[f"latency_{hi}"].at(4))
+        result.observe("latency_low_core_s", result[f"latency_{lo}"].at(4))
+        umax = f"core{hi_core/1e9:.1f}_uncore{s.uncore.max_hz/1e9:.1f}"
+        umin = f"core{hi_core/1e9:.1f}_uncore{s.uncore.min_hz/1e9:.1f}"
+        big = max(sizes)
+        result.observe("bandwidth_uncore_max",
+                       result[f"bandwidth_{umax}"].at(big))
+        result.observe("bandwidth_uncore_min",
+                       result[f"bandwidth_{umin}"].at(big))
+    _guarded_observations(result, observations)
     return result
+
+
+def _guarded_observations(result: ExperimentResult,
+                          body: Callable[[], None]) -> None:
+    """Compute derived observations; when sweep points failed (fault
+    injection) the inputs may be missing — degrade to a recorded failure
+    instead of losing the figure."""
+    if result.failures:
+        try:
+            body()
+        except Exception as err:
+            result.record_failure("__observations__", err)
+    else:
+        body()
 
 
 def fig1a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
@@ -369,6 +400,7 @@ def _contention_sweep(name: str, title: str, message_size: int,
                       core_counts: Optional[Sequence[int]] = None,
                       reps: int = 12,
                       kernel_factory: Callable = triad_kernel,
+                      journal: Optional[CampaignJournal] = None,
                       ) -> ExperimentResult:
     """Shared driver for the fig4/fig5 sweeps."""
     if core_counts is None:
@@ -376,6 +408,7 @@ def _contention_sweep(name: str, title: str, message_size: int,
     result = ExperimentResult(name=name, title=title)
     result.meta["placement"] = placement
     result.meta["message_size"] = message_size
+    guard = SweepGuard(result, journal)
     lat_alone = result.new_series("comm_alone", xlabel="computing cores",
                                   ylabel="latency (s)")
     lat_tog = result.new_series("comm_together", xlabel="computing cores",
@@ -386,29 +419,34 @@ def _contention_sweep(name: str, title: str, message_size: int,
                                xlabel="computing cores",
                                ylabel="bytes/s per core")
     for n in core_counts:
-        cfg = SideBySideConfig(
-            spec=spec, n_compute_cores=n, placement=placement,
-            kernel_factory=kernel_factory, message_size=message_size,
-            reps=reps)
-        out = run_throughput_protocol(cfg)
-        lat_alone.add(n, out.comm_alone.latencies)
-        if out.comm_together is not None:
-            lat_tog.add(n, out.comm_together.latencies)
-        else:
-            lat_tog.add(n, out.comm_alone.latencies)
-        if out.compute_alone_bw_per_core:
-            st_alone.add(n, out.compute_alone_bw_per_core)
-            st_tog.add(n, out.compute_together_bw_per_core)
+        def point(n=n):
+            cfg = SideBySideConfig(
+                spec=spec, n_compute_cores=n, placement=placement,
+                kernel_factory=kernel_factory, message_size=message_size,
+                reps=reps)
+            out = run_throughput_protocol(cfg)
+            lat_alone.add(n, out.comm_alone.latencies)
+            if out.comm_together is not None:
+                lat_tog.add(n, out.comm_together.latencies)
+            else:
+                lat_tog.add(n, out.comm_alone.latencies)
+            if out.compute_alone_bw_per_core:
+                st_alone.add(n, out.compute_alone_bw_per_core)
+                st_tog.add(n, out.compute_together_bw_per_core)
+        guard.run_point(f"n={n}", point)
+
     # Derived observations.
-    base_lat = lat_alone.median[0]
-    result.observe("latency_baseline_s", base_lat)
-    result.observe(
-        "comm_impact_from_cores",
-        crossover_index(lat_tog.x, lat_tog.median, base_lat,
-                        threshold=0.15, direction="above"))
-    if len(lat_tog) > 0:
-        result.observe("latency_max_ratio",
-                       max(lat_tog.median) / base_lat)
+    def observations():
+        base_lat = lat_alone.median[0]
+        result.observe("latency_baseline_s", base_lat)
+        result.observe(
+            "comm_impact_from_cores",
+            crossover_index(lat_tog.x, lat_tog.median, base_lat,
+                            threshold=0.15, direction="above"))
+        if len(lat_tog) > 0:
+            result.observe("latency_max_ratio",
+                           max(lat_tog.median) / base_lat)
+    _guarded_observations(result, observations)
     return result
 
 
@@ -512,13 +550,16 @@ def table1(spec: MachineSpec | str = "henri",
 def _size_experiment(name: str, n_compute: int,
                      spec: MachineSpec | str = "henri",
                      sizes: Optional[Sequence[int]] = None,
-                     reps: int = 10) -> ExperimentResult:
+                     reps: int = 10,
+                     journal: Optional[CampaignJournal] = None,
+                     ) -> ExperimentResult:
     """Fig 6 driver: sweep the transmitted size at fixed core count."""
     if sizes is None:
         sizes = default_size_sweep()
     result = ExperimentResult(
         name=name,
         title=f"Impact of message size with {n_compute} computing cores")
+    guard = SweepGuard(result, journal)
     comm_alone = result.new_series("comm_alone", xlabel="message size (B)",
                                    ylabel="bandwidth (B/s)")
     comm_tog = result.new_series("comm_together",
@@ -531,24 +572,31 @@ def _size_experiment(name: str, n_compute: int,
                                xlabel="message size (B)",
                                ylabel="bytes/s per core")
     for size in sizes:
-        cfg = SideBySideConfig(
-            spec=spec, n_compute_cores=n_compute,
-            placement=Placement("near", "far"), message_size=size,
-            reps=reps)
-        out = run_throughput_protocol(cfg)
-        comm_alone.add(size, size / out.comm_alone.latencies)
-        comm_tog.add(size, size / out.comm_together.latencies)
-        st_alone.add(size, out.compute_alone_bw_per_core)
-        st_tog.add(size, out.compute_together_bw_per_core)
+        def point(size=size):
+            cfg = SideBySideConfig(
+                spec=spec, n_compute_cores=n_compute,
+                placement=Placement("near", "far"), message_size=size,
+                reps=reps)
+            out = run_throughput_protocol(cfg)
+            comm_alone.add(size, size / out.comm_alone.latencies)
+            comm_tog.add(size, size / out.comm_together.latencies)
+            st_alone.add(size, out.compute_alone_bw_per_core)
+            st_tog.add(size, out.compute_together_bw_per_core)
+        guard.run_point(f"size={size}", point)
+
     # Thresholds (paper: comms degrade from 64 KB @5 cores / 128 B @35;
     # STREAM from 4 KB in both).
-    comm_ratio = [t / a for t, a in zip(comm_tog.median, comm_alone.median)]
-    result.observe("comm_degraded_from_size",
-                   crossover_index(comm_tog.x, comm_ratio, 1.0, 0.08,
-                                   "below"))
-    st_ratio = [t / a for t, a in zip(st_tog.median, st_alone.median)]
-    result.observe("stream_degraded_from_size",
-                   crossover_index(st_tog.x, st_ratio, 1.0, 0.02, "below"))
+    def observations():
+        comm_ratio = [t / a
+                      for t, a in zip(comm_tog.median, comm_alone.median)]
+        result.observe("comm_degraded_from_size",
+                       crossover_index(comm_tog.x, comm_ratio, 1.0, 0.08,
+                                       "below"))
+        st_ratio = [t / a for t, a in zip(st_tog.median, st_alone.median)]
+        result.observe("stream_degraded_from_size",
+                       crossover_index(st_tog.x, st_ratio, 1.0, 0.02,
+                                       "below"))
+    _guarded_observations(result, observations)
     return result
 
 

@@ -72,6 +72,12 @@ def render_experiment(result: ExperimentResult) -> str:
             if isinstance(value, float):
                 value = format_si(value)
             out.write(f"  {key}: {value}\n")
+    if result.failures:
+        out.write("\nFailed points (fault injection):\n")
+        for key in sorted(result.failures):
+            info = result.failures[key]
+            detail = info.get("message") or info.get("error") or "failed"
+            out.write(f"  {key}: {detail}\n")
     return out.getvalue()
 
 

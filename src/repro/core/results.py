@@ -66,13 +66,21 @@ class Series:
 
 @dataclass
 class ExperimentResult:
-    """All series of one figure/table plus derived observations."""
+    """All series of one figure/table plus derived observations.
+
+    ``failures`` maps a sweep-point key (e.g. ``"n=20"``) to a
+    structured description of why that point could not be produced —
+    under fault injection a point may die with a
+    :class:`~repro.faults.reliability.TransportError` while the rest of
+    the figure completes (graceful degradation rather than a lost
+    campaign)."""
 
     name: str                       # e.g. "fig4a"
     title: str
     series: Dict[str, Series] = field(default_factory=dict)
     meta: Dict[str, object] = field(default_factory=dict)
     observations: Dict[str, object] = field(default_factory=dict)
+    failures: Dict[str, Dict[str, object]] = field(default_factory=dict)
 
     def new_series(self, key: str, label: Optional[str] = None,
                    xlabel: str = "", ylabel: str = "") -> Series:
@@ -86,3 +94,21 @@ class ExperimentResult:
 
     def observe(self, key: str, value: object) -> None:
         self.observations[key] = value
+
+    def record_failure(self, key: str,
+                       error: Optional[BaseException] = None,
+                       **info: object) -> None:
+        """Record a structured per-point failure annotation."""
+        entry: Dict[str, object] = dict(info)
+        if error is not None:
+            entry.setdefault("error", type(error).__name__)
+            entry.setdefault("message", str(error))
+            for attr in ("reason", "src", "dst", "retries", "timeouts"):
+                value = getattr(error, attr, None)
+                if value is not None:
+                    entry.setdefault(attr, value)
+        self.failures[key] = entry
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures

@@ -1,0 +1,63 @@
+"""Process-wide fault installation consumed by new clusters.
+
+Experiments build their :class:`~repro.hardware.topology.Cluster`
+instances internally (often one per sweep point), so faults are
+injected through an ambient context rather than threaded through every
+experiment signature: ``install_faults(plan)`` (or the
+``fault_context`` manager) makes every subsequently constructed cluster
+arm a :class:`~repro.faults.injector.FaultInjector` for the plan.
+
+This module deliberately imports nothing from the hardware layer so the
+topology module can depend on it without a cycle.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["InstalledFaults", "install_faults", "clear_faults",
+           "active_faults", "fault_context"]
+
+
+@dataclass(frozen=True)
+class InstalledFaults:
+    """The currently installed plan plus transport policy."""
+
+    plan: object                       # FaultPlan
+    reliability: Optional[object] = None   # ReliabilityConfig or None
+
+
+_STACK: List[InstalledFaults] = []
+
+
+def install_faults(plan, reliability=None) -> InstalledFaults:
+    """Install *plan* for every cluster constructed from now on."""
+    installed = InstalledFaults(plan=plan, reliability=reliability)
+    _STACK.append(installed)
+    return installed
+
+
+def clear_faults() -> None:
+    """Remove the most recently installed plan (no-op when empty)."""
+    if _STACK:
+        _STACK.pop()
+
+
+def active_faults() -> Optional[InstalledFaults]:
+    """The innermost installed plan, or ``None``."""
+    return _STACK[-1] if _STACK else None
+
+
+@contextmanager
+def fault_context(plan, reliability=None):
+    """Scope a fault plan to a ``with`` block."""
+    installed = install_faults(plan, reliability)
+    try:
+        yield installed
+    finally:
+        if _STACK and _STACK[-1] is installed:
+            _STACK.pop()
+        elif installed in _STACK:  # pragma: no cover - unbalanced nesting
+            _STACK.remove(installed)

@@ -1,0 +1,243 @@
+"""Fault plans: seedable, serialisable schedules of hardware faults.
+
+A :class:`FaultPlan` is an ordered list of fault specs plus a seed.  It
+is pure data — arming it against a live cluster is the job of
+:class:`~repro.faults.injector.FaultInjector`.  Times are *simulation*
+times: every sweep point runs its own simulator starting at ``t=0``, so
+a fault window applies to each point whose simulated execution reaches
+it (this is what makes faulted sweeps reproducible point by point).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.sim.randomness import RandomStreams
+
+__all__ = [
+    "FailSlowCore", "DegradedLink", "MessageLoss", "RegCacheFlush",
+    "FailStop", "CrashWorker", "FaultPlan", "parse_fault",
+]
+
+
+@dataclass(frozen=True)
+class FailSlowCore:
+    """Cap a core's (or a whole node's) frequency during a window."""
+
+    node: int
+    freq_cap_hz: float
+    start: float = 0.0
+    duration: float = math.inf
+    core: Optional[int] = None      # None = every core of the node
+
+
+@dataclass(frozen=True)
+class DegradedLink:
+    """De-rate a directed wire: bandwidth and/or latency multipliers."""
+
+    src: int
+    dst: int
+    start: float = 0.0
+    duration: float = math.inf
+    bw_factor: float = 1.0          # multiplier on wire capacity (<= 1)
+    latency_factor: float = 1.0     # multiplier on wire latency (>= 1)
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Transient loss/corruption window, optionally scoped to a link."""
+
+    loss_rate: float
+    start: float = 0.0
+    duration: float = math.inf
+    src: Optional[int] = None       # None = any source
+    dst: Optional[int] = None       # None = any destination
+    corrupt_rate: float = 0.0       # delivered but checksum-rejected
+
+
+@dataclass(frozen=True)
+class RegCacheFlush:
+    """Flush a node's NIC registration cache (optionally periodically)."""
+
+    node: int
+    at: float
+    period: Optional[float] = None
+    count: int = 1                  # number of flushes when periodic
+
+
+@dataclass(frozen=True)
+class FailStop:
+    """Crash a node: all later transfers to/from it fail."""
+
+    node: int
+    at: float
+
+
+@dataclass(frozen=True)
+class CrashWorker:
+    """Fail-stop one runtime worker; its in-flight task is requeued."""
+
+    node: int
+    at: float
+    worker_index: int = 0
+
+
+Fault = Union[FailSlowCore, DegradedLink, MessageLoss, RegCacheFlush,
+              FailStop, CrashWorker]
+
+_FAULT_KINDS: Dict[str, type] = {
+    "fail_slow": FailSlowCore,
+    "degraded_link": DegradedLink,
+    "link": DegradedLink,
+    "loss": MessageLoss,
+    "reg_flush": RegCacheFlush,
+    "fail_stop": FailStop,
+    "crash_worker": CrashWorker,
+}
+
+_KIND_OF_TYPE = {FailSlowCore: "fail_slow", DegradedLink: "degraded_link",
+                 MessageLoss: "loss", RegCacheFlush: "reg_flush",
+                 FailStop: "fail_stop", CrashWorker: "crash_worker"}
+
+_INT_FIELDS = {"node", "core", "src", "dst", "count", "worker_index"}
+
+
+def _convert(key: str, value: str):
+    if value in ("None", "none", ""):
+        return None
+    if key in _INT_FIELDS:
+        return int(value)
+    if value == "inf":
+        return math.inf
+    return float(value)
+
+
+def parse_fault(spec: str) -> Fault:
+    """Parse a CLI mini-spec like ``"fail_stop:node=1,at=0.01"``."""
+    kind, _, rest = spec.partition(":")
+    kind = kind.strip()
+    cls = _FAULT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown fault kind {kind!r}; pick one of "
+            f"{sorted(set(_FAULT_KINDS))}")
+    kwargs = {}
+    for part in rest.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep:
+            raise ValueError(f"malformed fault field {part!r} in {spec!r}")
+        kwargs[key.strip()] = _convert(key.strip(), value.strip())
+    try:
+        return cls(**kwargs)
+    except TypeError as err:
+        raise ValueError(f"bad fields for fault {kind!r}: {err}") from None
+
+
+class FaultPlan:
+    """A seed plus an ordered list of faults (builder-style API)."""
+
+    def __init__(self, seed: int = 0, faults: Optional[List[Fault]] = None):
+        self.seed = int(seed)
+        self.faults: List[Fault] = list(faults or [])
+
+    # -- builders ----------------------------------------------------------
+    def add(self, fault: Fault) -> "FaultPlan":
+        self.faults.append(fault)
+        return self
+
+    def fail_slow(self, node: int, freq_cap_hz: float, start: float = 0.0,
+                  duration: float = math.inf,
+                  core: Optional[int] = None) -> "FaultPlan":
+        return self.add(FailSlowCore(node=node, freq_cap_hz=freq_cap_hz,
+                                     start=start, duration=duration,
+                                     core=core))
+
+    def degrade_link(self, src: int, dst: int, start: float = 0.0,
+                     duration: float = math.inf, bw_factor: float = 1.0,
+                     latency_factor: float = 1.0) -> "FaultPlan":
+        return self.add(DegradedLink(src=src, dst=dst, start=start,
+                                     duration=duration, bw_factor=bw_factor,
+                                     latency_factor=latency_factor))
+
+    def message_loss(self, loss_rate: float, start: float = 0.0,
+                     duration: float = math.inf, src: Optional[int] = None,
+                     dst: Optional[int] = None,
+                     corrupt_rate: float = 0.0) -> "FaultPlan":
+        return self.add(MessageLoss(loss_rate=loss_rate, start=start,
+                                    duration=duration, src=src, dst=dst,
+                                    corrupt_rate=corrupt_rate))
+
+    def flush_reg_cache(self, node: int, at: float,
+                        period: Optional[float] = None,
+                        count: int = 1) -> "FaultPlan":
+        return self.add(RegCacheFlush(node=node, at=at, period=period,
+                                      count=count))
+
+    def fail_stop(self, node: int, at: float) -> "FaultPlan":
+        return self.add(FailStop(node=node, at=at))
+
+    def crash_worker(self, node: int, at: float,
+                     worker_index: int = 0) -> "FaultPlan":
+        return self.add(CrashWorker(node=node, at=at,
+                                    worker_index=worker_index))
+
+    # -- random generation -------------------------------------------------
+    @classmethod
+    def random(cls, seed: int, n_nodes: int = 2,
+               horizon: float = 0.1) -> "FaultPlan":
+        """A plausible mixed fault load, fully determined by *seed*.
+
+        One transient loss window, one degraded link and one fail-slow
+        core, with parameters drawn from the seeded stream.  The same
+        seed always yields the same plan.
+        """
+        rng = RandomStreams(seed).stream("plan")
+        plan = cls(seed=seed)
+        t0 = float(rng.uniform(0.0, 0.3 * horizon))
+        plan.message_loss(
+            loss_rate=float(rng.uniform(0.002, 0.05)),
+            start=t0, duration=float(rng.uniform(0.3, 1.0)) * horizon,
+            corrupt_rate=float(rng.uniform(0.0, 0.005)))
+        src = int(rng.integers(0, n_nodes))
+        dst = int((src + 1 + rng.integers(0, max(1, n_nodes - 1)))
+                  % n_nodes)
+        plan.degrade_link(
+            src=src, dst=dst,
+            start=float(rng.uniform(0.0, 0.5 * horizon)),
+            duration=float(rng.uniform(0.2, 0.8)) * horizon,
+            bw_factor=float(rng.uniform(0.3, 0.9)),
+            latency_factor=float(rng.uniform(1.1, 3.0)))
+        plan.fail_slow(
+            node=int(rng.integers(0, n_nodes)),
+            freq_cap_hz=float(rng.uniform(1.0e9, 1.8e9)),
+            start=float(rng.uniform(0.0, 0.5 * horizon)),
+            duration=float(rng.uniform(0.3, 1.0)) * horizon)
+        return plan
+
+    # -- serialisation ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [dict(kind=_KIND_OF_TYPE[type(f)], **asdict(f))
+                       for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        plan = cls(seed=data.get("seed", 0))
+        for entry in data.get("faults", []):
+            entry = dict(entry)
+            kind = entry.pop("kind")
+            plan.add(_FAULT_KINDS[kind](**entry))
+        return plan
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FaultPlan(seed={self.seed}, {len(self.faults)} faults)"

@@ -1,0 +1,80 @@
+"""Reliable-transport parameters and the terminal transport failure.
+
+The reliability layer is strictly pay-for-what-you-use: without an
+installed :class:`~repro.faults.plan.FaultPlan` the protocol engine
+executes the exact pre-fault code path (same events, same RNG draws),
+so fault-free experiments stay bit-identical to the seed behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ReliabilityConfig", "TransportError"]
+
+
+class TransportError(RuntimeError):
+    """A message could not be delivered (retries exhausted or peer dead)."""
+
+    def __init__(self, reason: str, src: Optional[int] = None,
+                 dst: Optional[int] = None, size: Optional[int] = None,
+                 retries: int = 0, timeouts: int = 0):
+        super().__init__(
+            f"{reason} (src={src}, dst={dst}, size={size}, "
+            f"retries={retries}, timeouts={timeouts})")
+        self.reason = reason
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.retries = retries
+        self.timeouts = timeouts
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Ack/timeout/retransmit policy of the reliable transport.
+
+    ``timeout_s`` is the base retransmit timeout armed when the sender
+    hands a message to the NIC; it doubles (``backoff_factor``) after
+    every consecutive timeout up to ``max_backoff_s``.  Rendezvous
+    messages use ``handshake_timeout_s`` for the RTS/CTS handshake
+    (default: same as ``timeout_s``).  After ``max_retries`` failed
+    retransmissions the transfer raises :class:`TransportError` — a
+    faulted simulation therefore always terminates, never hangs.
+
+    Acks are piggybacked on the reverse control channel and add no
+    latency of their own, but when ``ack_loss`` is true they traverse
+    the same lossy links as data: a lost ack forces a (redundant)
+    retransmission exactly like a lost message.
+    """
+
+    timeout_s: float = 100e-6
+    max_retries: int = 10
+    backoff_factor: float = 2.0
+    max_backoff_s: Optional[float] = 10e-3
+    handshake_timeout_s: Optional[float] = None
+    ack_loss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError("timeout_s must be > 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff_s is not None and self.max_backoff_s <= 0:
+            raise ValueError("max_backoff_s must be > 0")
+        if self.handshake_timeout_s is not None \
+                and self.handshake_timeout_s <= 0:
+            raise ValueError("handshake_timeout_s must be > 0")
+
+    def retransmit_timeout(self, n_timeouts: int, rendezvous: bool) -> float:
+        """Timeout armed after *n_timeouts* consecutive losses (>= 1)."""
+        base = (self.handshake_timeout_s
+                if rendezvous and self.handshake_timeout_s is not None
+                else self.timeout_s)
+        rto = base * self.backoff_factor ** max(0, n_timeouts - 1)
+        if self.max_backoff_s is not None:
+            rto = min(rto, self.max_backoff_s)
+        return rto

@@ -314,6 +314,16 @@ class Cluster:
                 if a != b:
                     self._wires[(a, b)] = Resource(
                         f"wire{a}->{b}", spec.nic.wire_bw)
+        # Fault injection: arm the ambient fault plan, if one is
+        # installed (see repro.faults.context).  Imported lazily so the
+        # hardware layer has no hard dependency on the faults package.
+        self.fault_injector = None
+        from repro.faults.context import active_faults
+        installed = active_faults()
+        if installed is not None:
+            from repro.faults.injector import FaultInjector
+            self.fault_injector = FaultInjector(
+                self, installed.plan, installed.reliability).arm()
 
     def wire(self, src: int, dst: int) -> Resource:
         return self._wires[(src, dst)]

@@ -19,7 +19,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.hardware.memory import Buffer
 from repro.mpi.comm import CommWorld
-from repro.netmodel.protocols import TransferRecord
+from repro.netmodel.protocols import TransferRecord, TransportError
 from repro.sim import Event
 
 __all__ = ["Request", "P2PContext"]
@@ -87,6 +87,7 @@ class P2PContext:
         self._queues: Dict[int, _SerialQueue] = {
             r.node_id: _SerialQueue(self.sim) for r in world.ranks}
         self.transfers: List[TransferRecord] = []
+        self.failures: List[BaseException] = []
 
     # -- public API --------------------------------------------------------
     def isend(self, src: int, dst: int, buffer: Buffer, tag: int = 0,
@@ -155,8 +156,14 @@ class P2PContext:
         def on_done(event):
             if not event.ok:
                 exc = event._exception  # noqa: SLF001
+                self.failures.append(exc)
                 send_req.done.fail(exc)
-                recv_req.done.fail(RuntimeError(str(exc)))
+                # The receive side sees the same transport failure; any
+                # other error is wrapped so both waiters get *an*
+                # exception without sharing a traceback-bearing object.
+                recv_req.done.fail(
+                    exc if isinstance(exc, TransportError)
+                    else RuntimeError(str(exc)))
                 return
             record: TransferRecord = event.value
             send_req.record = record

@@ -25,13 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
+from repro.faults.reliability import ReliabilityConfig, TransportError
 from repro.hardware.memory import Buffer
 from repro.hardware.nic import RegistrationCache, dma_demand
 from repro.hardware.topology import Cluster, Machine
 from repro.sim import noisy
 from repro.sim.fluid import Flow
 
-__all__ = ["TransferRecord", "ProtocolEngine"]
+__all__ = ["TransferRecord", "ProtocolEngine", "TransportError"]
 
 # Below this size the eager copy is modelled analytically instead of as a
 # fluid flow (see half_transfer).
@@ -40,18 +41,32 @@ _EAGER_FLOW_MIN = 2048
 
 @dataclass
 class TransferRecord:
-    """Timing breakdown of one one-way message."""
+    """Timing breakdown of one one-way message.
+
+    Under the reliable transport (fault injection active) ``start`` is
+    the first attempt's start and ``end`` the successful delivery, so
+    ``duration`` is the *end-to-end* latency including retransmissions;
+    ``retries``/``timeouts`` count the recovery work and ``components``
+    describe the final (successful) attempt plus the accumulated
+    ``retransmit_wait``.
+    """
 
     size: int
     protocol: str                 # "eager" | "rendezvous"
     start: float
     end: float
     components: Dict[str, float] = field(default_factory=dict)
+    retries: int = 0              # retransmissions before success
+    timeouts: int = 0             # timer expiries (loss, corruption, acks)
 
     @property
     def duration(self) -> float:
         """One-way latency in seconds (the paper's 'latency' metric)."""
         return self.end - self.start
+
+    @property
+    def attempts(self) -> int:
+        return self.retries + 1
 
     @property
     def bandwidth(self) -> float:
@@ -70,6 +85,13 @@ class ProtocolEngine:
         self.net = cluster.net
         self.reg_caches: Dict[int, RegistrationCache] = {
             m.node_id: RegistrationCache() for m in cluster.machines}
+        # Fault injection: when the cluster was built under an installed
+        # FaultPlan, route every message through the reliable transport
+        # (ack + timeout + retransmit).  Without a plan the engine runs
+        # the exact pre-fault code path — same events, same RNG draws.
+        self.injector = getattr(cluster, "fault_injector", None)
+        if self.injector is not None:
+            self.injector.register_engine(self)
         # Extra per-message overhead in cycles (used by the task-based
         # runtime layer, §5.2: StarPU's longer software stack).
         self.extra_cycles_send = 0.0
@@ -94,8 +116,38 @@ class ProtocolEngine:
 
         Returns a :class:`TransferRecord`.  The caller is responsible for
         having bound/activated the comm cores (their frequency is read
-        live).
+        live).  With a fault plan armed, the message travels over the
+        reliable transport and may raise :class:`TransportError`.
         """
+        if self.injector is None:
+            record = yield from self._attempt(
+                src_node, src_core, src_buf, dst_node, dst_core, dst_buf,
+                size)
+        else:
+            record = yield from self._reliable_transfer(
+                src_node, src_core, src_buf, dst_node, dst_core, dst_buf,
+                size)
+        return record
+
+    # ------------------------------------------------------------------
+    def _wire_latency(self, src_node: int, dst_node: int,
+                      base: float) -> float:
+        """Wire latency with any degraded-link multiplier applied."""
+        if self.injector is None:
+            return base
+        return base * self.injector.link_latency_factor(src_node, dst_node)
+
+    def _attempt(
+        self,
+        src_node: int,
+        src_core: int,
+        src_buf: Buffer,
+        dst_node: int,
+        dst_core: int,
+        dst_buf: Buffer,
+        size: Optional[int] = None,
+    ) -> Generator:
+        """One unreliable delivery attempt (the pre-fault transfer path)."""
         src_m = self.cluster.machine(src_node)
         dst_m = self.cluster.machine(dst_node)
         if size is None:
@@ -125,10 +177,12 @@ class ProtocolEngine:
                    + dst_m.pio_extra_hops(dst_core)
                    * dst_m.spec.interconnect.hop_latency)
 
+        wire_lat = self._wire_latency(src_node, dst_node, spec.wire_latency)
+
         # --- in flight ----------------------------------------------------
         if size <= spec.eager_threshold:
             comps["protocol"] = 0.0
-            wire = spec.wire_latency + hop_lat
+            wire = wire_lat + hop_lat
             comps["wire"] = wire
             yield wire
             if 0 < size < _EAGER_FLOW_MIN:
@@ -151,7 +205,7 @@ class ProtocolEngine:
             # RTS/CTS handshake: a small control-message round trip.
             f_dst = dst_m.freq.core_hz(dst_core)
             rtt = spec.rndv_rtt_factor * (
-                2 * (spec.wire_latency + hop_lat)
+                2 * (wire_lat + hop_lat)
                 + (spec.o_send_cycles + spec.o_recv_cycles) / f_src
                 + (spec.o_send_cycles + spec.o_recv_cycles) / f_dst
                 + self._doorbell(src_m, src_core)
@@ -168,7 +222,7 @@ class ProtocolEngine:
             if reg:
                 yield reg
 
-            comps["wire"] = spec.wire_latency + hop_lat
+            comps["wire"] = wire_lat + hop_lat
             yield comps["wire"]
 
             flow = self._dma_flow(src_m, src_buf, dst_m, dst_buf, size)
@@ -191,6 +245,94 @@ class ProtocolEngine:
         return TransferRecord(size=size, protocol=protocol,
                               start=start, end=self.sim.now,
                               components=comps)
+
+    # ------------------------------------------------------------------
+    def _reliable_transfer(
+        self,
+        src_node: int,
+        src_core: int,
+        src_buf: Buffer,
+        dst_node: int,
+        dst_core: int,
+        dst_buf: Buffer,
+        size: Optional[int] = None,
+    ) -> Generator:
+        """Ack + timeout + exponential-backoff retransmit around
+        :meth:`_attempt`.
+
+        Loss is decided at sender handoff time from the injector's
+        active windows; a lost message costs the sender its software
+        overheads plus the armed retransmit timeout.  A corrupted
+        message (checksum-rejected by the receiver) and a lost ack cost
+        a full attempt plus the *residual* timeout.  After
+        ``max_retries`` retransmissions the transfer raises
+        :class:`TransportError` — it never hangs.
+        """
+        inj = self.injector
+        rel: ReliabilityConfig = inj.reliability
+        src_m = self.cluster.machine(src_node)
+        spec = src_m.spec.nic
+        if size is None:
+            size = src_buf.size
+        rendezvous = size > spec.eager_threshold
+        start = self.sim.now
+        retries = 0
+        timeouts = 0
+        waited = 0.0
+        while True:
+            if not inj.node_alive(src_node):
+                raise TransportError("source node failed", src=src_node,
+                                     dst=dst_node, size=size,
+                                     retries=retries, timeouts=timeouts)
+            if not inj.node_alive(dst_node):
+                raise TransportError("destination node failed",
+                                     src=src_node, dst=dst_node, size=size,
+                                     retries=retries, timeouts=timeouts)
+            t_attempt = self.sim.now
+            if not inj.draw_loss(src_node, dst_node):
+                record = yield from self._attempt(
+                    src_node, src_core, src_buf, dst_node, dst_core,
+                    dst_buf, size)
+                delivered = (inj.node_alive(dst_node)
+                             and not inj.draw_corrupt(src_node, dst_node))
+                if delivered and rel.ack_loss:
+                    # The piggybacked ack crosses the reverse link; a
+                    # lost ack forces a redundant retransmission (the
+                    # receiver dedups by sequence number).
+                    delivered = not inj.draw_loss(dst_node, src_node)
+                if delivered:
+                    record.start = start
+                    record.retries = retries
+                    record.timeouts = timeouts
+                    if waited > 0.0:
+                        record.components["retransmit_wait"] = waited
+                    return record
+            else:
+                # Dropped in flight: the sender still pays its software
+                # overheads and doorbell before the timer arms.
+                yield from self._send_side_cost(src_m, src_core)
+            timeouts += 1
+            if retries >= rel.max_retries:
+                raise TransportError(
+                    "retries exhausted", src=src_node, dst=dst_node,
+                    size=size, retries=retries, timeouts=timeouts)
+            retries += 1
+            rto = rel.retransmit_timeout(timeouts, rendezvous)
+            wait = max(0.0, rto - (self.sim.now - t_attempt))
+            if wait > 0.0:
+                yield wait
+            waited += wait
+
+    def _send_side_cost(self, src_m: Machine, src_core: int) -> Generator:
+        """Sender-side overheads of an attempt that dies on the wire."""
+        spec = src_m.spec.nic
+        rng = src_m.rng.stream("net")
+        f_src = src_m.freq.core_hz(src_core)
+        o_send = noisy(
+            (spec.o_send_cycles + self.extra_cycles_send) / f_src,
+            src_m.spec.noise, rng) + self.extra_delay_send
+        yield o_send
+        yield self._doorbell(src_m, src_core)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -126,6 +126,7 @@ class RuntimeSystem:
             for core in worker_cores[:n_workers]]
 
         self.stopped = False
+        self.crashed = False
         self._wake: Event = self.sim.event()
         self._idle_workers = 0
         self._idle_pollers = 0
@@ -133,6 +134,12 @@ class RuntimeSystem:
         self._n_pending = 0
         self._all_done: Optional[Event] = None
         self._started = False
+
+        # Fault injection: a fail-stop of this node must reach the
+        # runtime so workers die and waiters fail instead of hanging.
+        injector = getattr(world.cluster, "fault_injector", None)
+        if injector is not None:
+            injector.register_runtime(self)
 
     # -- lifecycle ---------------------------------------------------------
     def start(self) -> "RuntimeSystem":
@@ -146,6 +153,27 @@ class RuntimeSystem:
     def shutdown(self) -> None:
         self.stopped = True
         self._wake_all()
+
+    def crash(self) -> None:
+        """Fail-stop the whole node's runtime (fault injection).
+
+        Workers die where they stand (their in-flight tasks are
+        requeued, though nothing on this node will ever pop them) and a
+        pending :meth:`wait_all` fails with a
+        :class:`~repro.faults.reliability.TransportError` so campaigns
+        observe a structured failure instead of a hang.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.stopped = True
+        for worker in self.workers:
+            worker.crash()
+        self._wake_all()
+        if self._all_done is not None and not self._all_done.triggered:
+            from repro.faults.reliability import TransportError
+            self._all_done.fail(
+                TransportError("node failed", src=self.rank_id))
 
     # -- worker wake bookkeeping -----------------------------------------
     def wake_event(self) -> Event:
@@ -192,6 +220,17 @@ class RuntimeSystem:
     def _make_ready(self, task: Task) -> None:
         self.scheduler.push(task)
         self._wake_all()
+
+    def requeue(self, task: Task) -> None:
+        """Return a crashed worker's in-flight task to the ready list.
+
+        The task re-enters through the ordinary push path, so the
+        stealing machinery distributes it to a surviving worker; its
+        pending/dependency bookkeeping is untouched (it was never
+        completed).
+        """
+        task.start_time = None
+        self._make_ready(task)
 
     def on_task_done(self, task: Task) -> None:
         task.done = True

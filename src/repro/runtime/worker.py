@@ -21,6 +21,7 @@ from repro.hardware.frequency import CoreActivity
 from repro.hardware.topology import Machine
 from repro.runtime.task import Task
 from repro.sim import noisy
+from repro.sim.events import Interrupt
 
 __all__ = ["Worker"]
 
@@ -35,10 +36,28 @@ class Worker:
         self.tasks_executed = 0
         self.busy_time = 0.0
         self.paused = False
+        self.crashed = False
+        self.current_task: Optional[Task] = None
+        self._requeue_on_crash = True
         self._process = None
 
     def start(self) -> None:
         self._process = self.machine.sim.process(self._loop())
+
+    def crash(self, requeue: bool = True) -> None:
+        """Fail-stop this worker (fault injection).
+
+        The worker thread dies at its current yield point; with
+        *requeue* its in-flight task goes back to the scheduler's ready
+        list, where the surviving workers pick it up through the normal
+        pop/steal machinery.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self._requeue_on_crash = requeue
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("worker crash")
 
     def pause(self) -> None:
         """Stop taking tasks after the current one (the §8 'reduce the
@@ -73,9 +92,11 @@ class Worker:
                 if task is None:
                     polls = not self.paused
                     runtime.worker_went_idle(polls=polls)
-                    wake = runtime.wake_event()
-                    yield wake
-                    runtime.worker_woke_up(polls=polls)
+                    try:
+                        wake = runtime.wake_event()
+                        yield wake
+                    finally:
+                        runtime.worker_woke_up(polls=polls)
                     if runtime.stopped:
                         return
                     if self.paused:
@@ -91,6 +112,13 @@ class Worker:
                         yield runtime.spec.worker_resume_s
                     continue
                 yield from self._execute(task)
+        except Interrupt:
+            # Crash injection: the worker dies here.  Its in-flight
+            # task (if any) survives by going back to the ready list —
+            # the stealing machinery hands it to a living worker.
+            task, self.current_task = self.current_task, None
+            if task is not None and not task.done and self._requeue_on_crash:
+                runtime.requeue(task)
         finally:
             machine.set_core_activity(self.core_id, CoreActivity.IDLE)
             machine.set_streaming(self.core_id, False)
@@ -100,6 +128,7 @@ class Worker:
         sim = machine.sim
         rng = machine.rng.stream(f"worker{self.core_id}")
         spec = machine.spec
+        self.current_task = task
         task.start_time = sim.now
 
         # Per-task runtime management overhead (dequeue, codelet setup).
@@ -132,7 +161,14 @@ class Worker:
             flow = machine.net.transfer(
                 machine.load_path(self.core_id, data_numa), size=nbytes,
                 demand=demand, label=f"task:{task.name}")
-            yield flow.done
+            try:
+                yield flow.done
+            except Interrupt:
+                # Crash mid-flow: release the fluid bandwidth the dead
+                # worker was consuming before propagating.
+                machine.net.stop_flow(flow)
+                machine.set_streaming(self.core_id, False)
+                raise
             mem_time = sim.now - t0
             if mem_time < cpu_time:
                 yield cpu_time - mem_time
@@ -153,4 +189,5 @@ class Worker:
         task.end_time = sim.now
         self.tasks_executed += 1
         self.busy_time += exec_time + overhead
+        self.current_task = None
         self.runtime.on_task_done(task)

@@ -44,17 +44,32 @@ class SimulationError(RuntimeError):
 
 
 class ScheduledHandle:
-    """Cancellable handle for a scheduled callback."""
+    """Cancellable handle for a scheduled callback.
 
-    __slots__ = ("time", "cancelled")
+    ``daemon`` entries (background samplers, watchdogs) never keep the
+    event loop alive: ``run()`` without a horizon stops once only
+    daemon events remain, like daemon threads at interpreter exit.
+    """
 
-    def __init__(self, time: float):
+    __slots__ = ("time", "cancelled", "fired", "daemon")
+
+    def __init__(self, time: float, daemon: bool = False):
         self.time = time
         self.cancelled = False
+        self.fired = False
+        self.daemon = daemon
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
-        self.cancelled = True
+        """Prevent the callback from running (idempotent).
+
+        Cancelling a handle whose callback has already run is a no-op:
+        the heap entry is gone, so there is nothing to revoke and the
+        handle must not be flagged as cancelled (a stale handle kept by
+        e.g. a timeout that lost the race with its event would otherwise
+        misreport state to whoever inspects it next).
+        """
+        if not self.fired:
+            self.cancelled = True
 
 
 class Simulator:
@@ -69,6 +84,7 @@ class Simulator:
         self._seq = 0
         self._queue: List[Tuple[float, int, ScheduledHandle, Callable, tuple]] = []
         self._processing_events: List[Event] = []
+        self._foreground = 0  # pending non-daemon entries
 
     # -- time -------------------------------------------------------------
     @property
@@ -77,20 +93,28 @@ class Simulator:
         return self._now
 
     # -- scheduling --------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable, *args: Any) -> ScheduledHandle:
+    def schedule(self, delay: float, callback: Callable, *args: Any,
+                 daemon: bool = False) -> ScheduledHandle:
         """Schedule ``callback(*args)`` to run after *delay* seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
-        return self.schedule_at(self._now + delay, callback, *args)
+        return self.schedule_at(self._now + delay, callback, *args,
+                                daemon=daemon)
 
-    def schedule_at(self, time: float, callback: Callable, *args: Any) -> ScheduledHandle:
-        """Schedule ``callback(*args)`` at absolute simulated *time*."""
+    def schedule_at(self, time: float, callback: Callable, *args: Any,
+                    daemon: bool = False) -> ScheduledHandle:
+        """Schedule ``callback(*args)`` at absolute simulated *time*.
+
+        Daemon entries do not keep a horizon-less ``run()`` alive.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r} < now={self._now!r}")
-        handle = ScheduledHandle(time)
+        handle = ScheduledHandle(time, daemon)
         self._seq += 1
         heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
+        if not daemon:
+            self._foreground += 1
         return handle
 
     def _schedule_event(self, event: Event) -> None:
@@ -107,13 +131,18 @@ class Simulator:
         """Create a fresh pending :class:`Event` bound to this simulator."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
+    def timeout(self, delay: float, value: Any = None,
+                daemon: bool = False) -> Timeout:
         """Create an event that fires after *delay* seconds."""
-        return Timeout(self, delay, value)
+        return Timeout(self, delay, value, daemon=daemon)
 
-    def process(self, generator: Generator) -> "Process":
-        """Start a new process from *generator*."""
-        return Process(self, generator)
+    def process(self, generator: Generator, daemon: bool = False) -> "Process":
+        """Start a new process from *generator*.
+
+        A daemon process (periodic sampler, watchdog) never keeps a
+        horizon-less ``run()`` alive on its own.
+        """
+        return Process(self, generator, daemon=daemon)
 
     # -- running -------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> None:
@@ -124,16 +153,22 @@ class Simulator:
         until:
             Absolute time horizon.  If given, execution stops once the
             next event would be strictly after *until*, and ``now`` is
-            advanced to *until*.  If omitted, runs until the queue drains.
+            advanced to *until*.  If omitted, runs until no *foreground*
+            events remain (daemon entries alone never sustain the loop).
         """
         while self._queue:
+            if until is None and not self._foreground:
+                return
             time, _seq, handle, callback, args = self._queue[0]
             if until is not None and time > until:
                 self._now = until
                 return
             heapq.heappop(self._queue)
+            if not handle.daemon:
+                self._foreground -= 1
             if handle.cancelled:
                 continue
+            handle.fired = True
             self._now = time
             callback(*args)
         if until is not None and until > self._now:
@@ -142,15 +177,20 @@ class Simulator:
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
         while self._queue and self._queue[0][2].cancelled:
-            heapq.heappop(self._queue)
+            _, _, handle, _, _ = heapq.heappop(self._queue)
+            if not handle.daemon:
+                self._foreground -= 1
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Execute exactly the next pending callback."""
         while self._queue:
             time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            if not handle.daemon:
+                self._foreground -= 1
             if handle.cancelled:
                 continue
+            handle.fired = True
             self._now = time
             callback(*args)
             return
@@ -160,15 +200,17 @@ class Simulator:
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "name", "daemon")
 
-    def __init__(self, sim: Simulator, generator: Generator, name: str = ""):
+    def __init__(self, sim: Simulator, generator: Generator, name: str = "",
+                 daemon: bool = False):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        self.daemon = daemon
         # Kick off on the next tick so creation order doesn't matter.
-        sim.schedule(0.0, self._resume, None, None)
+        sim.schedule(0.0, self._resume, None, None, daemon=daemon)
 
     @property
     def is_alive(self) -> bool:
@@ -186,7 +228,8 @@ class Process(Event):
                 waiting.callbacks.remove(self._on_event)
             except ValueError:
                 pass
-        self.sim.schedule(0.0, self._resume, None, Interrupt(cause))
+        self.sim.schedule(0.0, self._resume, None, Interrupt(cause),
+                          daemon=self.daemon)
 
     # -- driving the generator -------------------------------------------
     def _on_event(self, event: Event) -> None:
@@ -214,7 +257,7 @@ class Process(Event):
 
     def _wait_for(self, target: Any) -> None:
         if isinstance(target, (int, float)):
-            target = self.sim.timeout(target)
+            target = Timeout(self.sim, target, daemon=self.daemon)
         if not isinstance(target, Event):
             self._resume(
                 None,

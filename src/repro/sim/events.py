@@ -123,12 +123,13 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim, delay: float, value: Any = None):
+    def __init__(self, sim, delay: float, value: Any = None,
+                 daemon: bool = False):
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
         super().__init__(sim)
         self.delay = float(delay)
-        sim.schedule(delay, self._fire, value)
+        sim.schedule(delay, self._fire, value, daemon=daemon)
 
     def _fire(self, value: Any) -> None:
         self._triggered = True

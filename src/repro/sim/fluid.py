@@ -163,7 +163,11 @@ class FluidNetwork:
 
     def __init__(self, sim: Simulator):
         self.sim = sim
-        self._flows: Set[Flow] = set()
+        # Insertion-ordered (dict-as-set): Flow hashes by identity, so a
+        # plain set iterates in memory-address order, which varies from
+        # run to run and would make same-instant completions fire in a
+        # nondeterministic order.
+        self._flows: Dict[Flow, None] = {}
         self._last_update = 0.0
 
     # -- public API -------------------------------------------------------
@@ -186,7 +190,7 @@ class FluidNetwork:
             elif res.network is not self:
                 raise SimulationError(
                     f"resource {res.name!r} belongs to another network")
-        self._flows.add(flow)
+        self._flows[flow] = None
         self._recompute()
         return flow
 
@@ -247,7 +251,7 @@ class FluidNetwork:
         if flow._completion_handle is not None:
             flow._completion_handle.cancel()
             flow._completion_handle = None
-        self._flows.discard(flow)
+        self._flows.pop(flow, None)
 
     def _recompute(self) -> None:
         # Completing a flow frees capacity, which can push other flows to
@@ -281,22 +285,27 @@ class FluidNetwork:
         return False
 
     def _assign_rates(self) -> None:
-        """Weighted max-min fair allocation via progressive filling."""
-        unfixed: Set[Flow] = set(self._flows)
+        """Weighted max-min fair allocation via progressive filling.
+
+        All working collections are insertion-ordered dicts-as-sets so
+        the freezing order — and with it the floating-point rounding of
+        the residual-capacity subtractions — is identical on every run.
+        """
+        unfixed: Dict[Flow, None] = dict.fromkeys(self._flows)
         # Flows with an empty path are only demand-limited.
         for flow in list(unfixed):
             if not flow.resources:
                 flow.rate = flow.demand
-                unfixed.discard(flow)
+                unfixed.pop(flow, None)
 
         avail: Dict[Resource, float] = {}
-        res_flows: Dict[Resource, Set[Flow]] = {}
+        res_flows: Dict[Resource, Dict[Flow, None]] = {}
         for flow in unfixed:
             for res in flow.resources:
                 if res not in avail:
                     avail[res] = res.capacity
-                    res_flows[res] = set()
-                res_flows[res].add(flow)
+                    res_flows[res] = {}
+                res_flows[res][flow] = None
         # Account for capacity consumed by already-fixed (empty-path) flows:
         # none, by construction (empty path touches no resource).
 
@@ -329,7 +338,7 @@ class FluidNetwork:
             if demand_limited:
                 for flow in demand_limited:
                     self._fix(flow, flow.demand, avail, res_flows)
-                    unfixed.discard(flow)
+                    unfixed.pop(flow, None)
                 continue
 
             # Otherwise freeze every flow crossing a bottleneck resource.
@@ -345,7 +354,7 @@ class FluidNetwork:
                         if flow in unfixed:
                             self._fix(flow, flow.weight * level,
                                       avail, res_flows)
-                            unfixed.discard(flow)
+                            unfixed.pop(flow, None)
                             froze = True
             if not froze:  # pragma: no cover - numerical safety net
                 for flow in list(unfixed):
@@ -355,11 +364,11 @@ class FluidNetwork:
     @staticmethod
     def _fix(flow: Flow, rate: float,
              avail: Dict[Resource, float],
-             res_flows: Dict[Resource, Set[Flow]]) -> None:
+             res_flows: Dict[Resource, Dict[Flow, None]]) -> None:
         flow.rate = max(0.0, rate)
         for res in flow.resources:
             avail[res] = max(0.0, avail[res] - flow.rate * flow.usage_on(res))
-            res_flows[res].discard(flow)
+            res_flows[res].pop(flow, None)
 
     def _reschedule_completions(self) -> None:
         for flow in list(self._flows):

@@ -83,7 +83,9 @@ class PeriodicSampler:
         if self._running:
             raise RuntimeError("sampler already running")
         self._running = True
-        self._process = self.sim.process(self._run())
+        # Daemon: a sampler must never keep a horizon-less run() alive
+        # (callers would hang draining an endless sampling schedule).
+        self._process = self.sim.process(self._run(), daemon=True)
         return self
 
     def stop(self) -> Trace:

@@ -1,0 +1,142 @@
+"""Campaign journal + sweep guard: graceful degradation and resume.
+
+Covers the acceptance scenario of the fault-injection redesign: a
+fail-stop mid-campaign leaves only the affected sweep points failed
+(with structured annotations), and resuming from the journal replays
+the completed points bit-identically while re-running exactly the
+failed ones.
+"""
+
+import json
+
+import pytest
+
+from repro.core.campaign import CampaignJournal, SweepGuard
+from repro.core.experiments import fig1
+from repro.core.results import ExperimentResult
+from repro.faults import FaultPlan, TransportError, fault_context
+
+SIZES = [4, 65536]
+FAST = dict(sizes=SIZES, reps=4)
+
+
+def _series_state(result):
+    return {k: (s.x, s.median, s.p10, s.p90)
+            for k, s in result.series.items()}
+
+
+# -- SweepGuard unit behaviour --------------------------------------------
+
+def test_guard_rolls_back_partial_appends():
+    result = ExperimentResult(name="exp", title="t")
+    s = result.new_series("a")
+    guard = SweepGuard(result)
+
+    def bad_point():
+        s.add_value(1.0, 2.0)
+        raise TransportError("node failed", src=1)
+
+    assert guard.run_point("p1", bad_point) == "failed"
+    assert len(s) == 0                       # partial append rolled back
+    assert "p1" in result.failures
+    assert result.failures["p1"]["error"] == "TransportError"
+    assert result.failures["p1"]["reason"] == "node failed"
+    assert not result.ok
+
+    assert guard.run_point("p2", lambda: s.add_value(2.0, 3.0)) == "ok"
+    assert s.x == [2.0]
+
+
+def test_journal_records_and_resumes(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    result = ExperimentResult(name="exp", title="t")
+    s = result.new_series("a")
+    with CampaignJournal(path) as journal:
+        guard = SweepGuard(result, journal)
+        guard.run_point("x=1", lambda: s.add_value(1.0, 10.0))
+        guard.run_point("x=2", lambda: (_ for _ in ()).throw(
+            TransportError("node failed")))
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert [l["status"] for l in lines] == ["ok", "failed"]
+
+    # Resume: the ok point replays, the failed one re-runs.
+    result2 = ExperimentResult(name="exp", title="t")
+    s2 = result2.new_series("a")
+    ran = []
+    with CampaignJournal(path, resume=True) as journal:
+        guard = SweepGuard(result2, journal)
+        guard.run_point("x=1", lambda: ran.append("x=1"))
+        guard.run_point("x=2", lambda: (ran.append("x=2"),
+                                        s2.add_value(2.0, 20.0)))
+    assert ran == ["x=2"]                    # only the failed point re-ran
+    assert guard.replayed == ["x=1"]
+    assert s2.x == [1.0, 2.0]
+    assert s2.median == [10.0, 20.0]
+    assert result2.ok
+
+
+def test_journal_without_resume_starts_fresh(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    with CampaignJournal(path) as journal:
+        journal.record("exp", "x=1", "ok", series={"a": [[1.0, 1, 1, 1]]})
+    with CampaignJournal(path) as journal:     # resume=False truncates
+        assert journal.lookup("exp", "x=1") is None
+    assert path.read_text() == ""
+
+
+# -- end-to-end: fig1 under fail-stop, then resume ------------------------
+
+def test_fig1_fail_stop_degrades_then_resumes(tmp_path):
+    path = tmp_path / "fig1.jsonl"
+    # 4 B ping-pongs finish in ~100 us; a fail-stop at 60 us kills the
+    # larger points of every corner but leaves the 4 B ones intact.
+    plan = FaultPlan(seed=0).fail_stop(node=1, at=6e-5)
+    with fault_context(plan):
+        with CampaignJournal(path) as journal:
+            faulted = fig1(journal=journal, **FAST)
+
+    assert faulted.failures
+    failed_keys = [k for k in faulted.failures if k != "__observations__"]
+    assert failed_keys                        # some points died...
+    for key in failed_keys:
+        assert key.endswith("size=65536")     # ...only the long ones
+        assert faulted.failures[key]["error"] == "TransportError"
+    # Surviving points are present for every corner.
+    for k, s in faulted.series.items():
+        if k.startswith("latency_"):
+            assert 4.0 in s.x
+            assert 65536.0 not in s.x
+
+    # Resume without the fault: completed points replay bit-identically,
+    # failed points re-run and fill the figure.
+    with CampaignJournal(path, resume=True) as journal:
+        resumed = fig1(journal=journal, **FAST)
+    assert resumed.ok
+    healthy = fig1(**FAST)
+    for key, s in healthy.series.items():
+        assert resumed.series[key].x == s.x
+    # Replayed values match the faulted run's surviving points exactly.
+    for k, s in faulted.series.items():
+        res = resumed.series[k]
+        for x, med in zip(s.x, s.median):
+            assert res.median[res.x.index(x)] == med
+
+
+def test_fig1_zero_fault_unchanged_by_guard(tmp_path):
+    """The guard/journal wrapping must not perturb healthy timings."""
+    base = fig1(**FAST)
+    with CampaignJournal(tmp_path / "j.jsonl") as journal:
+        journaled = fig1(journal=journal, **FAST)
+    assert _series_state(base) == _series_state(journaled)
+    assert base.observations == journaled.observations
+
+
+def test_same_fault_seed_bit_identical():
+    plan = FaultPlan(seed=5).message_loss(loss_rate=0.25, start=0.0,
+                                          duration=100.0)
+    with fault_context(plan):
+        a = fig1(**FAST)
+    with fault_context(plan):
+        b = fig1(**FAST)
+    assert _series_state(a) == _series_state(b)
+    assert a.failures == b.failures

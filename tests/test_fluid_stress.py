@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.sim import Flow, FluidNetwork, Resource, Simulator
 
+pytestmark = pytest.mark.slow
+
 
 def test_capacity_drop_midflight_slows_everything():
     sim = Simulator()

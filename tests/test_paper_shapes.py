@@ -10,6 +10,8 @@ import pytest
 from repro.core import experiments as E
 from repro.mpi.pingpong import BANDWIDTH_SIZE, LATENCY_SIZE
 
+pytestmark = pytest.mark.slow
+
 
 # -- §3.1: frequency effects on communications -------------------------------
 

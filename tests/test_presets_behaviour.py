@@ -11,6 +11,8 @@ from repro.hardware import BILLY, BORA, Cluster, HENRI, PYXIS
 from repro.kernels import cursor_for_intensity, tunable_triad
 from repro.mpi import CommWorld, PingPong
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("preset", ["henri", "bora", "billy", "pyxis"])
 def test_pingpong_works_on_all_presets(preset):

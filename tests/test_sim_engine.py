@@ -292,3 +292,74 @@ def test_many_processes_determinism():
         return out
 
     assert run_once() == run_once()
+
+
+def test_cancel_after_fire_is_noop():
+    # Regression: cancelling a handle whose callback already ran used to
+    # mark it cancelled anyway, misreporting state to later inspectors.
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "a")
+    sim.run()
+    assert fired == ["a"]
+    assert handle.fired and not handle.cancelled
+    handle.cancel()
+    assert not handle.cancelled
+    handle.cancel()  # still idempotent
+    assert not handle.cancelled
+
+
+def test_cancel_before_fire_still_cancels():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "a")
+    handle.cancel()
+    assert handle.cancelled and not handle.fired
+    sim.run()
+    assert fired == []
+    assert not handle.fired
+
+
+def test_daemon_events_do_not_sustain_run():
+    # Regression: a periodic daemon process (e.g. an energy sampler)
+    # used to make a horizon-less run() loop forever; now run() stops
+    # once only daemon entries remain.
+    sim = Simulator()
+    ticks = []
+
+    def sampler(sim):
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    def work(sim):
+        yield 3.5
+
+    sim.process(sampler(sim), daemon=True)
+    proc = sim.process(work(sim))
+    sim.run()
+    assert proc.triggered
+    assert sim.now == 3.5
+    assert ticks == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_daemon_events_fire_up_to_horizon():
+    sim = Simulator()
+    ticks = []
+
+    def sampler(sim):
+        while True:
+            ticks.append(sim.now)
+            yield 1.0
+
+    sim.process(sampler(sim), daemon=True)
+    sim.run(until=2.0)
+    assert ticks == [0.0, 1.0, 2.0]
+    assert sim.now == 2.0
+
+
+def test_daemon_only_queue_leaves_clock_untouched():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None, daemon=True)
+    sim.run()
+    assert sim.now == 0.0
