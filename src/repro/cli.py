@@ -14,6 +14,8 @@ full figures.
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 import time
 from typing import Callable, Dict, Optional
@@ -22,6 +24,12 @@ from repro.core import experiments as E
 from repro.core.report import render_experiment, write_experiments_md
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+# Experiments timed by `repro bench` (fast mode): one per modelled layer
+# — raw latency sweep, frequency effects, runtime overhead, NUMA
+# placement, polling contention, and the fig-10 worker sweep.
+_BENCH_EXPERIMENTS = ("fig1a", "fig2", "runtime_overhead", "fig8",
+                      "fig9", "fig10")
 
 # Reduced parameter sets for --fast mode.
 _FAST_KWARGS: Dict[str, dict] = {
@@ -134,6 +142,65 @@ def _build_fault_plan(args):
     return plan, reliability
 
 
+def _setup_logging(level: str) -> None:
+    """Structured logging to stderr (module loggers across the stack)."""
+    logging.basicConfig(
+        level=getattr(logging, level.upper()),
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr)
+
+
+def _bench(args) -> int:
+    """Timed --fast experiment subset: the repo's perf trajectory."""
+    names = [n.strip() for n in args.experiments.split(",") if n.strip()]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown bench experiment(s): {unknown}", file=sys.stderr)
+        return 2
+    import platform
+    seconds: Dict[str, float] = {}
+    for name in names:
+        t0 = time.perf_counter()
+        run_experiment(name, spec=args.spec, fast=True)
+        seconds[name] = round(time.perf_counter() - t0, 3)
+        print(f"[bench] {name}: {seconds[name]:.1f}s", file=sys.stderr)
+    doc = {
+        "bench": "pr2",
+        "mode": "fast",
+        "spec": args.spec,
+        "python": platform.python_version(),
+        "seconds": seconds,
+        "total_seconds": round(sum(seconds.values()), 3),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} (total {doc['total_seconds']:.1f}s)")
+    return 0
+
+
+def _trace_summary(args) -> int:
+    """Validate + summarise a Chrome-tracing JSON file."""
+    from repro.obs.export import (render_trace_summary,
+                                  summarize_chrome_trace,
+                                  validate_chrome_trace)
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        print(f"cannot read {args.path}: {err}", file=sys.stderr)
+        return 2
+    problems = validate_chrome_trace(text)
+    if problems:
+        print(f"{args.path}: INVALID trace "
+              f"({len(problems)} problem(s)):", file=sys.stderr)
+        for p in problems[:20]:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    print(render_trace_summary(summarize_chrome_trace(text)))
+    return 0
+
+
 def _render(name: str, result) -> str:
     if name == "fig5":
         return "\n".join(render_experiment(r) for r in result.values())
@@ -156,11 +223,28 @@ def main(argv: Optional[list] = None) -> int:
         description="Reproduce the figures of 'Interferences between "
         "Communications and Computations in Distributed HPC Systems' "
         "(ICPP 2021) on the simulator.")
+    parser.add_argument("--log-level", default="WARNING",
+                        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+                        help="stderr logging level (module loggers: "
+                        "faults, transport, campaigns)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     topo = sub.add_parser("topology",
                           help="print a cluster preset's topology")
     topo.add_argument("--spec", default="henri")
+    bench = sub.add_parser(
+        "bench", help="time the --fast experiment subset and write a "
+        "perf-baseline JSON (BENCH_pr2.json)")
+    bench.add_argument("--out", default="BENCH_pr2.json",
+                       help="output JSON path")
+    bench.add_argument("--spec", default="henri")
+    bench.add_argument("--experiments",
+                       default=",".join(_BENCH_EXPERIMENTS),
+                       help="comma-separated experiment names to time")
+    summary = sub.add_parser(
+        "trace-summary",
+        help="validate + summarise a Chrome-tracing JSON (from --trace)")
+    summary.add_argument("path", help="trace JSON file")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment",
                      help="experiment name (fig1a..fig10, table1, fig5, "
@@ -173,6 +257,17 @@ def main(argv: Optional[list] = None) -> int:
                      help="write a markdown record to this path")
     run.add_argument("--plot", action="store_true",
                      help="render the series as an ASCII chart")
+    obs = run.add_argument_group(
+        "observability", "cross-layer telemetry (see "
+        "docs/OBSERVABILITY.md); off by default — the zero-telemetry "
+        "path is bit-identical")
+    obs.add_argument("--trace", default=None, metavar="PATH",
+                     help="export a Chrome-tracing/Perfetto JSON of the "
+                     "whole run (per-node/core/NIC/wire lanes + counter "
+                     "tracks)")
+    obs.add_argument("--metrics", default=None, metavar="PATH",
+                     help="export the metrics registry + interference-"
+                     "attribution report as JSON")
     faults = run.add_argument_group(
         "fault injection", "deterministic fault injection + reliable "
         "transport (see docs/FAULTS.md)")
@@ -196,6 +291,13 @@ def main(argv: Optional[list] = None) -> int:
                         help="replay completed points from --journal and "
                         "re-run only failed/missing ones")
     args = parser.parse_args(argv)
+    _setup_logging(args.log_level)
+
+    if args.command == "bench":
+        return _bench(args)
+
+    if args.command == "trace-summary":
+        return _trace_summary(args)
 
     if args.command == "list":
         for name in list(EXPERIMENTS) + ["fig5"]:
@@ -229,6 +331,11 @@ def main(argv: Optional[list] = None) -> int:
         if plan is not None:
             from repro.faults import fault_context
             stack.enter_context(fault_context(plan, reliability))
+        tele = None
+        if args.trace or args.metrics:
+            from repro.obs import telemetry_context
+            tele = stack.enter_context(
+                telemetry_context(trace=bool(args.trace)))
         journal = None
         if args.journal:
             from repro.core.campaign import CampaignJournal
@@ -236,6 +343,8 @@ def main(argv: Optional[list] = None) -> int:
                 CampaignJournal(args.journal, resume=args.resume))
         for name in names:
             t0 = time.time()
+            if tele is not None:
+                tele.set_run(name)
             result = run_experiment(name, spec=args.spec, fast=args.fast,
                                     journal=journal)
             text = _render(name, result)
@@ -247,6 +356,17 @@ def main(argv: Optional[list] = None) -> int:
             print(text)
             print(f"[{name} done in {time.time() - t0:.1f}s]",
                   file=sys.stderr)
+        if tele is not None:
+            report = tele.render_attribution()
+            print(report)
+            sections["attribution"] = report
+            if args.trace:
+                n = tele.export_trace(args.trace)
+                print(f"wrote {args.trace} ({n} trace events)",
+                      file=sys.stderr)
+            if args.metrics:
+                tele.export_metrics(args.metrics)
+                print(f"wrote {args.metrics}", file=sys.stderr)
 
     if args.out:
         write_experiments_md(sections, path=args.out,

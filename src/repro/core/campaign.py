@@ -22,12 +22,15 @@ the error boundary, it just cannot resume.
 from __future__ import annotations
 
 import json
+import logging
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.results import ExperimentResult
 
 __all__ = ["CampaignJournal", "SweepGuard"]
+
+logger = logging.getLogger(__name__)
 
 
 class CampaignJournal:
@@ -79,13 +82,16 @@ class CampaignJournal:
     # -- recording ---------------------------------------------------------
     def record(self, experiment: str, key: str, status: str,
                series: Optional[dict] = None,
-               failure: Optional[dict] = None) -> None:
+               failure: Optional[dict] = None,
+               metrics: Optional[dict] = None) -> None:
         entry: dict = {"experiment": experiment, "key": key,
                        "status": status}
         if series:
             entry["series"] = series
         if failure:
             entry["failure"] = failure
+        if metrics:
+            entry["metrics"] = metrics
         self._entries[(experiment, key)] = entry
         self._fh.write(json.dumps(entry) + "\n")
         self._fh.flush()
@@ -127,9 +133,18 @@ class SweepGuard:
                 self.replayed.append(key)
                 return "replayed"
         snapshot = {k: len(s.x) for k, s in result.series.items()}
+        # Telemetry: journal the per-point metric delta alongside the
+        # series, so a campaign journal doubles as a per-point profile.
+        from repro.obs.context import active_telemetry
+        tele = active_telemetry()
+        registry = tele.registry if tele is not None else None
+        metrics_before = registry.snapshot() if registry is not None \
+            else None
         try:
             body()
         except Exception as err:
+            logger.warning("sweep point %s/%s failed: %s",
+                           result.name, key, err)
             self._rollback(snapshot)
             result.record_failure(key, err)
             self.failed.append(key)
@@ -138,8 +153,11 @@ class SweepGuard:
                                     failure=result.failures[key])
             return "failed"
         if self.journal is not None:
+            metrics = registry.delta(metrics_before) \
+                if registry is not None else None
             self.journal.record(result.name, key, "ok",
-                                series=self._delta(snapshot))
+                                series=self._delta(snapshot),
+                                metrics=metrics)
         return "ok"
 
     # -- internals ---------------------------------------------------------

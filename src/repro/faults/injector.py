@@ -11,6 +11,7 @@ measurement-noise streams, so a plan with zero loss perturbs nothing.
 
 from __future__ import annotations
 
+import logging
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -22,6 +23,8 @@ from repro.faults.reliability import ReliabilityConfig
 from repro.sim.randomness import RandomStreams
 
 __all__ = ["FaultInjector"]
+
+logger = logging.getLogger(__name__)
 
 
 class FaultInjector:
@@ -91,8 +94,14 @@ class FaultInjector:
         return self
 
     def _note(self, action: str, fault) -> None:
+        logger.info("t=%.6f %s %s %s", self.cluster.sim.now, action,
+                    type(fault).__name__, fault)
         self.log.append({"t": self.cluster.sim.now, "action": action,
                          "fault": type(fault).__name__})
+        from repro.obs.context import active_telemetry
+        tele = active_telemetry()
+        if tele is not None:
+            tele.on_fault(self.cluster, action, fault)
 
     # -- fail-slow cores ---------------------------------------------------
     def _cores_of(self, fault: FailSlowCore) -> List[int]:

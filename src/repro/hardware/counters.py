@@ -63,6 +63,22 @@ class CycleCounters:
     def state(self, core_id: int) -> CoreCounterState:
         return self._state[core_id]
 
+    def totals(self) -> CoreCounterState:
+        """Machine-wide aggregate of all cores, without copying the bank.
+
+        Cheap enough to call around every message — the telemetry layer
+        samples it before/after a transfer to attribute the memory-stall
+        cycles that overlapped it (the Fig-10 correlation substrate).
+        """
+        total = CoreCounterState()
+        for st in self._state.values():
+            total.busy += st.busy
+            total.mem_stall += st.mem_stall
+            total.flops += st.flops
+            total.bytes_moved += st.bytes_moved
+            total.contention_stall += st.contention_stall
+        return total
+
     def snapshot(self) -> Dict[int, CoreCounterState]:
         """Copy of all counters, for later :meth:`delta`."""
         return {c: st.copy() for c, st in self._state.items()}

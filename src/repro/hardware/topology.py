@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.hardware.counters import CycleCounters
 from repro.hardware.frequency import CoreActivity, FrequencyModel
 from repro.hardware.presets import MachineSpec, get_preset
+from repro.obs import context as _obs_context
 from repro.sim import FluidNetwork, RandomStreams, Resource, Simulator
 
 __all__ = ["Core", "NUMANode", "Socket", "Machine", "Cluster"]
@@ -260,6 +261,8 @@ class Machine:
         """Update activity and propagate uncore-driven capacity changes."""
         self.freq.set_activity(core_id, activity, uncore_active)
         self._apply_uncore_capacity()
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_freq_change(self, core_id)
 
     def _apply_uncore_capacity(self) -> None:
         for node in self.numa_nodes:
@@ -272,6 +275,8 @@ class Machine:
         """Pin the uncore frequency and rescale controller capacities."""
         self.freq.set_uncore(hz)
         self._apply_uncore_capacity()
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_freq_change(self, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Machine({self.spec.name!r}, node={self.node_id}, "
@@ -324,6 +329,12 @@ class Cluster:
             from repro.faults.injector import FaultInjector
             self.fault_injector = FaultInjector(
                 self, installed.plan, installed.reliability).arm()
+        # Telemetry: register this cluster's nodes/wires as trace lanes
+        # with the ambient Telemetry, if one is installed (same lazy
+        # pattern as the fault binding above).
+        tele = _obs_context.active_telemetry()
+        if tele is not None:
+            tele.bind_cluster(self)
 
     def wire(self, src: int, dst: int) -> Resource:
         return self._wires[(src, dst)]

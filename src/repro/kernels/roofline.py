@@ -24,6 +24,7 @@ from typing import Generator, Optional
 
 from repro.hardware.frequency import CoreActivity
 from repro.hardware.topology import Machine
+from repro.obs.context import active_telemetry
 from repro.sim import Event, noisy
 
 __all__ = ["Kernel", "KernelStats", "KernelRun", "run_kernel",
@@ -177,7 +178,12 @@ def _kernel_body(machine: Machine, core_id: int, kernel: Kernel,
     activity = CoreActivity.AVX512 if kernel.vector else CoreActivity.SCALAR
     machine.set_core_activity(core_id, activity, uncore_active=True)
     per_core_bw = machine.spec.memory.per_core_bw
+    tele = active_telemetry()
+    span = None if tele is None else tele.begin_span(
+        machine, core_id, kernel.name, "kernel",
+        elems=kernel.elems, vector=kernel.vector)
 
+    discarded = False
     try:
         sweep = 0
         while sweeps is None or sweep < sweeps:
@@ -229,7 +235,18 @@ def _kernel_body(machine: Machine, core_id: int, kernel: Kernel,
             sweep += 1
             stats.sweeps_done = sweep
         return stats
+    except GeneratorExit:
+        # Closed because the simulation was discarded (GC of a dead
+        # cluster): touching the machine or telemetry now would inject
+        # state changes at a GC-dependent moment.
+        discarded = True
+        raise
     finally:
-        stats.end = sim.now
-        machine.set_core_activity(core_id, CoreActivity.IDLE)
-        machine.set_streaming(core_id, False)
+        if not discarded:
+            stats.end = sim.now
+            machine.set_core_activity(core_id, CoreActivity.IDLE)
+            machine.set_streaming(core_id, False)
+            if tele is not None:
+                tele.finish_span(machine, span, sweeps=stats.sweeps_done,
+                                 elems=stats.elems_done)
+                tele.on_kernel_done(machine, core_id, kernel.name)

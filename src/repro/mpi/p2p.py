@@ -13,6 +13,7 @@ inherits (§5).
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Tuple
@@ -20,9 +21,12 @@ from typing import Deque, Dict, List, Optional, Tuple
 from repro.hardware.memory import Buffer
 from repro.mpi.comm import CommWorld
 from repro.netmodel.protocols import TransferRecord, TransportError
+from repro.obs.context import active_telemetry
 from repro.sim import Event
 
 __all__ = ["Request", "P2PContext"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -153,9 +157,26 @@ class P2PContext:
         done = self._queues[send_req.src].submit(
             self._transfer_job(send_req, recv_req, size))
 
+        # Telemetry: span from queue submission to completion, showing
+        # serial-queue wait on top of the protocol-level transfer span.
+        tele = active_telemetry()
+        span = None
+        src_machine = None
+        if tele is not None:
+            from repro.obs.telemetry import QUEUE_TID
+            src_machine = self.world.rank(send_req.src).machine
+            span = tele.begin_span(
+                src_machine, QUEUE_TID, f"p2p {size}B", "p2p",
+                dst=send_req.dst, tag=send_req.tag)
+
         def on_done(event):
+            if span is not None:
+                tele.finish_span(src_machine, span, ok=event.ok)
             if not event.ok:
                 exc = event._exception  # noqa: SLF001
+                logger.warning("transfer %d->%d (%dB, tag %d) failed: %s",
+                               send_req.src, send_req.dst, size,
+                               send_req.tag, exc)
                 self.failures.append(exc)
                 send_req.done.fail(exc)
                 # The receive side sees the same transport failure; any

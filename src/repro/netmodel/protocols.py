@@ -22,10 +22,12 @@ paper's analysis does:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
 from repro.faults.reliability import ReliabilityConfig, TransportError
+from repro.obs.context import active_telemetry
 from repro.hardware.memory import Buffer
 from repro.hardware.nic import RegistrationCache, dma_demand
 from repro.hardware.topology import Cluster, Machine
@@ -33,6 +35,8 @@ from repro.sim import noisy
 from repro.sim.fluid import Flow
 
 __all__ = ["TransferRecord", "ProtocolEngine", "TransportError"]
+
+logger = logging.getLogger(__name__)
 
 # Below this size the eager copy is modelled analytically instead of as a
 # fluid flow (see half_transfer).
@@ -58,6 +62,11 @@ class TransferRecord:
     components: Dict[str, float] = field(default_factory=dict)
     retries: int = 0              # retransmissions before success
     timeouts: int = 0             # timer expiries (loss, corruption, acks)
+    # Cycle activity overlapping this transfer, summed over both end
+    # machines (telemetry only; 0.0 when telemetry is off).  The ratio
+    # mem_stall_overlap / busy_overlap is the paper's Fig-10 x-axis.
+    mem_stall_overlap: float = 0.0
+    busy_overlap: float = 0.0
 
     @property
     def duration(self) -> float:
@@ -119,14 +128,49 @@ class ProtocolEngine:
         live).  With a fault plan armed, the message travels over the
         reliable transport and may raise :class:`TransportError`.
         """
-        if self.injector is None:
-            record = yield from self._attempt(
-                src_node, src_core, src_buf, dst_node, dst_core, dst_buf,
-                size)
-        else:
-            record = yield from self._reliable_transfer(
-                src_node, src_core, src_buf, dst_node, dst_core, dst_buf,
-                size)
+        tele = active_telemetry()
+        if tele is None:
+            # Zero-telemetry path: the exact pre-observability code.
+            if self.injector is None:
+                record = yield from self._attempt(
+                    src_node, src_core, src_buf, dst_node, dst_core,
+                    dst_buf, size)
+            else:
+                record = yield from self._reliable_transfer(
+                    src_node, src_core, src_buf, dst_node, dst_core,
+                    dst_buf, size)
+            return record
+
+        # Telemetry: sample both machines' cycle counters around the
+        # transfer so the record carries the overlapping stall/busy
+        # deltas (pure reads — the simulation is not perturbed).
+        src_ctr = self.cluster.machine(src_node).counters
+        dst_ctr = self.cluster.machine(dst_node).counters
+        pre_src = src_ctr.totals()
+        pre_dst = dst_ctr.totals() if dst_ctr is not src_ctr else None
+        try:
+            if self.injector is None:
+                record = yield from self._attempt(
+                    src_node, src_core, src_buf, dst_node, dst_core,
+                    dst_buf, size)
+            else:
+                record = yield from self._reliable_transfer(
+                    src_node, src_core, src_buf, dst_node, dst_core,
+                    dst_buf, size)
+        except TransportError as err:
+            logger.info("transport error %d->%d: %s", src_node, dst_node,
+                        err)
+            tele.on_transport_error(self.cluster, src_node, dst_node,
+                                    str(err))
+            raise
+        post_src = src_ctr.totals()
+        record.mem_stall_overlap = post_src.mem_stall - pre_src.mem_stall
+        record.busy_overlap = post_src.busy - pre_src.busy
+        if pre_dst is not None:
+            post_dst = dst_ctr.totals()
+            record.mem_stall_overlap += post_dst.mem_stall - pre_dst.mem_stall
+            record.busy_overlap += post_dst.busy - pre_dst.busy
+        tele.on_transfer(self.cluster, src_node, dst_node, record)
         return record
 
     # ------------------------------------------------------------------
@@ -312,6 +356,12 @@ class ProtocolEngine:
                 # overheads and doorbell before the timer arms.
                 yield from self._send_side_cost(src_m, src_core)
             timeouts += 1
+            logger.debug("timeout #%d on %d->%d (%dB), retry %d",
+                         timeouts, src_node, dst_node, size, retries + 1)
+            tele = active_telemetry()
+            if tele is not None:
+                tele.on_retransmit(self.cluster, src_node, dst_node, size,
+                                   "timeout", timeouts)
             if retries >= rel.max_retries:
                 raise TransportError(
                     "retries exhausted", src=src_node, dst=dst_node,

@@ -1,0 +1,166 @@
+"""Interference attribution: bandwidth loss vs. memory-stall cycles.
+
+The paper's §6 argument (Figure 10) is a correlation: as more workers
+run memory-bound kernels, the cores' memory-stall cycles rise and the
+communication thread's effective sending bandwidth collapses.  Here
+every completed transfer carries the stall/busy cycle deltas of the
+machines it overlapped (sampled around the protocol engine's
+``half_transfer``), and :func:`attribution_report` turns those samples
+into the Fig-10-style table and a correlation coefficient.
+
+Bandwidths are normalised within same-size transfer groups before
+correlating, because achievable bandwidth varies enormously with
+message size (latency- vs bandwidth-dominated) and would otherwise
+swamp the interference signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["TransferSample", "attribution_report", "render_attribution"]
+
+
+@dataclass
+class TransferSample:
+    """One completed transfer and the cycle activity it overlapped."""
+
+    t: float                 # completion time (simulated seconds)
+    run: str                 # experiment/run label ("" if unknown)
+    src: int
+    dst: int
+    size: int                # bytes
+    protocol: str            # "eager" | "rendezvous"
+    duration: float          # seconds
+    bandwidth: float         # bytes / second
+    mem_stall: float         # stall cycles accrued across both machines
+    busy: float              # busy cycles accrued across both machines
+    retries: int = 0
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Fraction of overlapped busy cycles spent stalled on memory."""
+        return self.mem_stall / self.busy if self.busy > 0 else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "t": self.t, "run": self.run, "src": self.src,
+            "dst": self.dst, "size": self.size,
+            "protocol": self.protocol,
+            "duration": self.duration, "bandwidth": self.bandwidth,
+            "mem_stall": self.mem_stall, "busy": self.busy,
+            "stall_fraction": self.stall_fraction,
+            "retries": self.retries,
+        }
+
+
+def _pearson(xs: List[float], ys: List[float]) -> Optional[float]:
+    n = len(xs)
+    if n < 2:
+        return None
+    mx = sum(xs) / n
+    my = sum(ys) / n
+    sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
+    sxx = sum((x - mx) ** 2 for x in xs)
+    syy = sum((y - my) ** 2 for y in ys)
+    if sxx <= 0 or syy <= 0:
+        return None
+    return sxy / (sxx * syy) ** 0.5
+
+
+def attribution_report(samples: List[TransferSample],
+                       n_bins: int = 5) -> Dict[str, object]:
+    """Correlate normalised bandwidth with overlapped stall fraction.
+
+    Returns a JSON-able report: per-stall-bin mean normalised bandwidth
+    (the Fig-10-style table) plus the Pearson correlation, which the
+    paper's trend predicts to be negative (more stalls → less
+    bandwidth).  Transfers that overlapped no compute cycles at all are
+    excluded from the correlation but counted in ``quiet_transfers``.
+    """
+    samples = [s for s in samples if s.duration > 0 and s.size > 0]
+    if not samples:
+        return {"transfers": 0, "correlation": None, "bins": [],
+                "quiet_transfers": 0}
+
+    # Normalise bandwidth within same-size groups: 1.0 = the best this
+    # message size achieved anywhere in the run.
+    best_by_size: Dict[int, float] = {}
+    for s in samples:
+        best = best_by_size.get(s.size, 0.0)
+        if s.bandwidth > best:
+            best_by_size[s.size] = s.bandwidth
+    norm = [(s, s.bandwidth / best_by_size[s.size]) for s in samples]
+
+    active = [(s, nb) for s, nb in norm if s.busy > 0]
+    quiet = len(norm) - len(active)
+
+    corr = _pearson([s.stall_fraction for s, _ in active],
+                    [nb for _, nb in active]) if active else None
+
+    # Fig-10-style table: bin by stall fraction, report mean normalised
+    # bandwidth per bin.
+    max_stall = max((s.stall_fraction for s, _ in active), default=0.0)
+    hi = max(max_stall, 1e-9)
+    bins: List[Dict[str, object]] = []
+    for b in range(n_bins):
+        lo_edge = hi * b / n_bins
+        hi_edge = hi * (b + 1) / n_bins
+        members = [
+            (s, nb) for s, nb in active
+            if lo_edge <= s.stall_fraction < hi_edge
+            or (b == n_bins - 1 and s.stall_fraction == hi_edge)]
+        if members:
+            mean_bw = sum(nb for _, nb in members) / len(members)
+            mean_abs = sum(s.bandwidth for s, _ in members) / len(members)
+        else:
+            mean_bw = None
+            mean_abs = None
+        bins.append({
+            "stall_lo": round(lo_edge, 6), "stall_hi": round(hi_edge, 6),
+            "transfers": len(members),
+            "mean_norm_bandwidth": (round(mean_bw, 6)
+                                    if mean_bw is not None else None),
+            "mean_bandwidth_Bps": (round(mean_abs, 3)
+                                   if mean_abs is not None else None),
+        })
+
+    retrans = sum(s.retries for s in samples)
+    return {
+        "transfers": len(samples),
+        "quiet_transfers": quiet,
+        "retransmitted": retrans,
+        "correlation": round(corr, 6) if corr is not None else None,
+        "bins": bins,
+    }
+
+
+def render_attribution(report: Dict[str, object]) -> str:
+    """Human-readable Fig-10-style table."""
+    lines = ["interference attribution (bandwidth vs. memory stalls)",
+             f"  transfers: {report['transfers']} "
+             f"({report.get('quiet_transfers', 0)} overlapping no compute, "
+             f"{report.get('retransmitted', 0)} retransmissions)"]
+    corr = report.get("correlation")
+    if corr is None:
+        lines.append("  correlation: n/a (too few active transfers)")
+    else:
+        trend = "matches Fig 10 (stalls depress bandwidth)" if corr < 0 \
+            else "does NOT match Fig 10"
+        lines.append(f"  correlation(stall fraction, norm. bandwidth): "
+                     f"{corr:+.3f}  — {trend}")
+    if report.get("bins"):
+        lines.append(f"  {'stall fraction':>16}  {'transfers':>9}  "
+                     f"{'norm. bw':>9}  {'mean bw':>12}")
+        for b in report["bins"]:
+            if b["mean_norm_bandwidth"] is None:
+                bw, abw = "-", "-"
+            else:
+                bw = f"{b['mean_norm_bandwidth']:.3f}"
+                abw = f"{b['mean_bandwidth_Bps'] / 1e9:.3f} GB/s"
+            lines.append(
+                f"  {b['stall_lo']:>7.3f}-{b['stall_hi']:<8.3f}"
+                f"  {b['transfers']:>9}  {bw:>9}  {abw:>12}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Process-wide telemetry installation consumed by the instrumented layers.
+
+Exactly like :mod:`repro.faults.context`, experiments build their
+simulation objects internally (often one cluster per sweep point), so
+telemetry is activated through an ambient context rather than threaded
+through every signature: ``install_telemetry(tele)`` (or the
+``telemetry_context`` manager in :mod:`repro.obs.telemetry`) makes every
+instrumentation site in the sim/network/runtime layers report to *tele*.
+
+Every instrumented hot path guards on :data:`_ACTIVE` being ``None`` —
+one attribute load and an identity check — so the zero-telemetry path
+executes the exact pre-observability code: same events, same RNG draws,
+bit-identical results.
+
+This module deliberately imports nothing so any layer can depend on it
+without a cycle.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["install_telemetry", "clear_telemetry", "active_telemetry"]
+
+# The innermost installed Telemetry, or None.  Hot paths may read this
+# module attribute directly; everyone else uses active_telemetry().
+_ACTIVE: Optional[object] = None
+_STACK: List[object] = []
+
+
+def install_telemetry(tele) -> object:
+    """Install *tele* as the ambient telemetry sink."""
+    global _ACTIVE
+    _STACK.append(tele)
+    _ACTIVE = tele
+    return tele
+
+
+def clear_telemetry(tele=None) -> None:
+    """Remove *tele* (default: the innermost) from the stack."""
+    global _ACTIVE
+    if tele is None:
+        if _STACK:
+            _STACK.pop()
+    elif tele in _STACK:
+        _STACK.remove(tele)
+    _ACTIVE = _STACK[-1] if _STACK else None
+
+
+def active_telemetry() -> Optional[object]:
+    """The innermost installed :class:`~repro.obs.telemetry.Telemetry`."""
+    return _ACTIVE

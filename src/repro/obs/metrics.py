@@ -1,0 +1,209 @@
+"""Hierarchical metrics registry: counters, gauges, histograms.
+
+Names are dot-separated hierarchies (``net.transfers``,
+``runtime.tasks``) and each instrument may carry labels
+(``net.transfers{protocol=eager}``).  Instruments of the same name with
+different label sets coexist; the registry keys on
+``(name, sorted(labels))``.
+
+The registry is a pure in-memory accumulator over simulated quantities —
+it never touches the wall clock — so two identically-seeded runs export
+byte-identical JSON.  ``snapshot``/``delta`` support the campaign
+journal: the sweep guard snapshots before a point and journals the
+per-point delta.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "metric_key"]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def metric_key(name: str, labels: LabelItems) -> str:
+    """Render ``name{k=v,...}`` (labels sorted) for exports."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def to_state(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Last-written value (e.g. a configuration knob or level)."""
+
+    __slots__ = ("value",)
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_state(self) -> float:
+        return self.value
+
+
+# Generic default: spans micro-seconds to minutes for durations and
+# bytes to gigabytes for sizes (values are unit-free here).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    m * 10.0 ** e for e in range(-6, 3) for m in (1.0, 2.5, 5.0))
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bounds`` are inclusive upper edges; observations above the last
+    bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(self, bounds: Optional[Iterable[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = tuple(
+            sorted(bounds)) if bounds is not None else DEFAULT_BUCKETS
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_state(self) -> Dict[str, object]:
+        return {"sum": self.sum, "count": self.count,
+                "buckets": list(self.counts)}
+
+
+class MetricsRegistry:
+    """Registry of named instruments, created lazily on first use."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+
+    # -- instrument accessors ---------------------------------------------
+    def _get(self, cls, name: str, labels: Mapping[str, object],
+             **kwargs):
+        items: LabelItems = tuple(
+            sorted((k, str(v)) for k, v in labels.items()))
+        key = (name, items)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(**kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {metric_key(name, items)!r} already registered "
+                f"as {type(inst).__name__}, not {cls.__name__}")
+        return inst
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Optional[Iterable[float]] = None,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, bounds=buckets)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self):
+        return iter(sorted(self._instruments.items()))
+
+    # -- snapshot / delta ---------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view ``{key: {"type":..., "value"/state...}}``."""
+        out: Dict[str, object] = {}
+        for (name, labels), inst in sorted(self._instruments.items()):
+            out[metric_key(name, labels)] = {
+                "type": inst.kind, "value": inst.to_state()}
+        return out
+
+    def delta(self, before: Mapping[str, object]) -> Dict[str, object]:
+        """Change since *before* (a prior :meth:`snapshot`).
+
+        Counters and histograms subtract; gauges report their current
+        value (a gauge's "delta" is just where it is now).
+        """
+        out: Dict[str, object] = {}
+        for key, entry in self.snapshot().items():
+            prev = before.get(key)
+            kind = entry["type"]
+            value = entry["value"]
+            if prev is None or prev.get("type") != kind:
+                out[key] = entry
+                continue
+            if kind == "counter":
+                diff = value - prev["value"]
+                if diff:
+                    out[key] = {"type": kind, "value": diff}
+            elif kind == "histogram":
+                pv = prev["value"]
+                dcount = value["count"] - pv["count"]
+                if dcount:
+                    out[key] = {"type": kind, "value": {
+                        "sum": value["sum"] - pv["sum"],
+                        "count": dcount,
+                        "buckets": [a - b for a, b in
+                                    zip(value["buckets"], pv["buckets"])],
+                    }}
+            else:  # gauge
+                out[key] = entry
+        return out
+
+    # -- export -------------------------------------------------------------
+    def to_json(self, extra: Optional[Mapping[str, object]] = None,
+                indent: int = 1) -> str:
+        """Deterministic JSON export (sorted keys, no wall-clock)."""
+        doc: Dict[str, object] = {"metrics": self.snapshot()}
+        if extra:
+            doc.update(extra)
+        return json.dumps(doc, indent=indent, sort_keys=True)
+
+    def export(self, path, extra: Optional[Mapping[str, object]] = None
+               ) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(extra=extra))
+            fh.write("\n")

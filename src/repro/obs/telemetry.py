@@ -1,0 +1,328 @@
+"""The telemetry facade: one object every instrumented layer reports to.
+
+A :class:`Telemetry` bundles a :class:`~repro.obs.metrics.MetricsRegistry`
+and a :class:`~repro.obs.tracer.SpanTracer` and knows the lane layout:
+
+* one trace *process* per simulated node (pid ``1000·cluster + node``),
+  with a *thread* per core, a NIC lane for protocol-level transfers and
+  a queue lane for the comm thread's serial queue;
+* one synthetic *fabric* process per cluster (pid ``1000·cluster + 999``)
+  with a lane per directed wire (flow spans + bandwidth counter tracks)
+  and a lane for fault injections;
+* counter tracks for per-core/uncore frequency and per-node memory-stall
+  fraction, next to the spans that suffer them.
+
+Experiments build a fresh cluster per sweep point, so clusters register
+themselves (:meth:`Telemetry.bind_cluster`, called from
+``Cluster.__init__`` exactly like the fault injector) and each gets its
+own pid block — a fig-10 trace shows every worker-count point
+side by side.
+
+All hooks are pure observation: they never yield, schedule events, or
+draw random numbers, so enabling telemetry cannot perturb a simulation.
+Everything recorded derives from simulated time and state — identical
+runs export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import logging
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.attribution import (TransferSample, attribution_report,
+                                   render_attribution)
+from repro.obs.context import clear_telemetry, install_telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanHandle, SpanTracer
+
+__all__ = ["Telemetry", "telemetry_context",
+           "NIC_TID", "QUEUE_TID", "FAULT_TID"]
+
+logger = logging.getLogger(__name__)
+
+# Lane (tid) conventions inside a node process.
+NIC_TID = 1000      # protocol-level transfer spans
+QUEUE_TID = 1001    # comm thread's serial queue (submit -> done)
+# Lane conventions inside a cluster's fabric process.
+FAULT_TID = 998     # fault-injection instants
+_FABRIC_OFF = 999   # fabric pid = base + _FABRIC_OFF
+_PID_BLOCK = 1000   # pid block per cluster
+
+
+class _Binding:
+    """Lane bookkeeping for one registered cluster (or bare network)."""
+
+    __slots__ = ("index", "base", "fabric", "wires")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.base = _PID_BLOCK * index
+        self.fabric = self.base + _FABRIC_OFF
+        # [(src, dst, Resource)] — wire lanes, in (src, dst) order.
+        self.wires: List[Tuple[int, int, object]] = []
+
+
+class Telemetry:
+    """Ambient telemetry sink (install via :func:`telemetry_context`)."""
+
+    def __init__(self, trace: bool = True, metrics: bool = True):
+        self.registry: Optional[MetricsRegistry] = \
+            MetricsRegistry() if metrics else None
+        self.tracer: Optional[SpanTracer] = SpanTracer() if trace else None
+        self.transfers: List[TransferSample] = []
+        self.run_label = ""
+        self._bindings: Dict[int, _Binding] = {}   # id(FluidNetwork) -> _Binding
+        self._n_clusters = 0
+        # Cached hot-path counter (None when metrics are off).
+        self._sim_events = (self.registry.counter("sim.events")
+                            if self.registry is not None else None)
+
+    # -- run labelling -----------------------------------------------------
+    def set_run(self, label: str) -> None:
+        """Tag subsequently collected samples with *label* (experiment name)."""
+        self.run_label = label
+
+    # -- cluster / lane registration ---------------------------------------
+    def bind_cluster(self, cluster) -> None:
+        """Register *cluster*'s nodes and wires as trace lanes."""
+        binding = self._binding_for_net(cluster.net)
+        binding.wires = [(a, b, res) for (a, b), res
+                         in sorted(cluster._wires.items())]  # noqa: SLF001
+        if self.registry is not None:
+            self.registry.counter("clusters.built").inc()
+        tracer = self.tracer
+        if tracer is None:
+            return
+        prefix = f"c{binding.index}"
+        for machine in cluster.machines:
+            pid = binding.base + machine.node_id
+            tracer.name_process(
+                pid, f"{prefix}.n{machine.node_id} ({machine.spec.name})")
+            tracer.name_thread(pid, NIC_TID, "nic")
+            tracer.name_thread(pid, QUEUE_TID, "comm queue")
+            for core in machine.cores:
+                tracer.name_thread(pid, core.id, f"core{core.id}")
+        tracer.name_process(binding.fabric, f"{prefix}.fabric")
+        tracer.name_thread(binding.fabric, FAULT_TID, "faults")
+        for lane, (a, b, _res) in enumerate(binding.wires):
+            tracer.name_thread(binding.fabric, lane, f"wire{a}->{b}")
+
+    def _binding_for_net(self, net) -> _Binding:
+        binding = self._bindings.get(id(net))
+        if binding is None:
+            binding = _Binding(self._n_clusters)
+            self._n_clusters += 1
+            self._bindings[id(net)] = binding
+        return binding
+
+    def machine_pid(self, machine) -> int:
+        """Trace pid of *machine* (auto-registers bare networks)."""
+        return self._binding_for_net(machine.net).base + machine.node_id
+
+    # -- sim engine ---------------------------------------------------------
+    def on_sim_event(self) -> None:
+        """One event-loop dispatch (hottest hook: a bare increment)."""
+        counter = self._sim_events
+        if counter is not None:
+            counter.value += 1.0
+
+    # -- fluid network -------------------------------------------------------
+    def on_flow_start(self, net, flow) -> None:
+        if self.registry is not None:
+            self.registry.counter("fluid.flows_started").inc()
+
+    def on_flow_end(self, net, flow) -> None:
+        """A finite flow completed (span on its wire lane, if any)."""
+        if self.registry is not None:
+            self.registry.counter("fluid.flows_completed").inc()
+        tracer = self.tracer
+        if tracer is None:
+            return
+        binding = self._bindings.get(id(net))
+        if binding is None or not binding.wires:
+            return
+        for lane, (_a, _b, res) in enumerate(binding.wires):
+            if res in flow.resources:
+                tracer.complete(
+                    binding.fabric, lane, flow.label or "flow", "flow",
+                    flow.start_time, net.sim.now,
+                    {"bytes": flow.transferred})
+                return
+
+    def on_rates_changed(self, net) -> None:
+        """Rates were reassigned; sample wire-bandwidth counter tracks."""
+        if self.registry is not None:
+            self.registry.counter("fluid.rate_updates").inc()
+        tracer = self.tracer
+        if tracer is None:
+            return
+        binding = self._bindings.get(id(net))
+        if binding is None:
+            return
+        now = net.sim.now
+        for a, b, res in binding.wires:
+            bw = net.utilization(res) * res.capacity
+            tracer.counter(binding.fabric, f"wire{a}->{b} GB/s", now,
+                           bw / 1e9)
+
+    # -- protocol engine -----------------------------------------------------
+    def on_transfer(self, cluster, src_node: int, dst_node: int,
+                    record) -> None:
+        """A message was delivered (records carry overlap cycle deltas)."""
+        registry = self.registry
+        if registry is not None:
+            registry.counter("net.transfers",
+                             protocol=record.protocol).inc()
+            registry.counter("net.bytes",
+                             protocol=record.protocol).inc(record.size)
+            registry.histogram("net.transfer_seconds",
+                               protocol=record.protocol
+                               ).observe(record.duration)
+            if record.retries:
+                registry.counter("net.retransmits").inc(record.retries)
+        sample = TransferSample(
+            t=record.end, run=self.run_label, src=src_node, dst=dst_node,
+            size=record.size, protocol=record.protocol,
+            duration=record.duration, bandwidth=record.bandwidth,
+            mem_stall=record.mem_stall_overlap,
+            busy=record.busy_overlap, retries=record.retries)
+        self.transfers.append(sample)
+        tracer = self.tracer
+        if tracer is not None:
+            binding = self._binding_for_net(cluster.net)
+            tracer.complete(
+                binding.base + src_node, NIC_TID,
+                f"{record.protocol} {record.size}B", "transfer",
+                record.start, record.end,
+                {"size": record.size, "dst": dst_node,
+                 "retries": record.retries,
+                 "stall_overlap": round(record.mem_stall_overlap, 9)})
+
+    def on_retransmit(self, cluster, src_node: int, dst_node: int,
+                      size: int, reason: str, timeouts: int) -> None:
+        """A retransmit timer fired (loss/corruption/ack loss)."""
+        if self.registry is not None:
+            self.registry.counter("net.timeouts", reason=reason).inc()
+        tracer = self.tracer
+        if tracer is not None:
+            binding = self._binding_for_net(cluster.net)
+            tracer.instant(
+                binding.base + src_node, NIC_TID, f"timeout #{timeouts}",
+                cluster.sim.now, cat="transfer",
+                args={"dst": dst_node, "size": size, "reason": reason})
+
+    def on_transport_error(self, cluster, src_node: int, dst_node: int,
+                           reason: str) -> None:
+        if self.registry is not None:
+            self.registry.counter("net.transport_errors").inc()
+        tracer = self.tracer
+        if tracer is not None:
+            binding = self._binding_for_net(cluster.net)
+            tracer.instant(
+                binding.base + src_node, NIC_TID, "transport error",
+                cluster.sim.now, cat="transfer",
+                args={"dst": dst_node, "reason": reason})
+
+    # -- generic spans (workers, kernels, p2p) ------------------------------
+    def begin_span(self, machine, tid: int, name: str, cat: str,
+                   **args) -> Optional[SpanHandle]:
+        tracer = self.tracer
+        if tracer is None:
+            return None
+        return tracer.begin(self.machine_pid(machine), tid, name, cat,
+                            machine.sim.now, **args)
+
+    def finish_span(self, machine, handle: Optional[SpanHandle],
+                    **extra) -> None:
+        if handle is not None and self.tracer is not None:
+            self.tracer.finish(handle, machine.sim.now, **extra)
+
+    # -- runtime -------------------------------------------------------------
+    def on_task_done(self, machine, core_id: int, task,
+                     busy: float, stall: float) -> None:
+        """A worker finished a task; sample the node's stall fraction."""
+        if self.registry is not None:
+            self.registry.counter("runtime.tasks").inc()
+            self.registry.counter("runtime.busy_seconds").inc(busy)
+            self.registry.counter("runtime.stall_seconds").inc(stall)
+        tracer = self.tracer
+        if tracer is not None and busy > 0:
+            tracer.counter(self.machine_pid(machine), "mem_stall_frac",
+                           machine.sim.now, stall / busy)
+
+    def on_steal(self, machine, thief_core: int) -> None:
+        if self.registry is not None:
+            self.registry.counter("runtime.steals").inc()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant(self.machine_pid(machine), thief_core, "steal",
+                           machine.sim.now, cat="runtime")
+
+    def on_kernel_done(self, machine, core_id: int, kernel_name: str) -> None:
+        if self.registry is not None:
+            self.registry.counter("kernels.runs", kernel=kernel_name).inc()
+
+    # -- frequency / DVFS ----------------------------------------------------
+    def on_freq_change(self, machine, core_id: int) -> None:
+        tracer = self.tracer
+        if tracer is None:
+            return
+        pid = self.machine_pid(machine)
+        now = machine.sim.now
+        tracer.counter(pid, f"freq.c{core_id} GHz", now,
+                       machine.freq.core_hz(core_id) / 1e9)
+        socket = machine.cores[core_id].socket_id
+        tracer.counter(pid, f"uncore.s{socket} GHz", now,
+                       machine.freq.uncore_hz(socket) / 1e9)
+
+    # -- faults --------------------------------------------------------------
+    def on_fault(self, cluster, action: str, fault) -> None:
+        kind = type(fault).__name__
+        if self.registry is not None:
+            self.registry.counter("faults.applied", kind=kind,
+                                  action=action).inc()
+        tracer = self.tracer
+        if tracer is not None:
+            binding = self._binding_for_net(cluster.net)
+            tracer.instant(binding.fabric, FAULT_TID,
+                           f"{action} {kind}", cluster.sim.now,
+                           cat="fault")
+
+    # -- reports / export ----------------------------------------------------
+    def attribution(self, run: Optional[str] = None,
+                    n_bins: int = 5) -> dict:
+        """Fig-10-style bandwidth-vs-stall attribution report."""
+        samples = self.transfers if run is None \
+            else [s for s in self.transfers if s.run == run]
+        return attribution_report(samples, n_bins=n_bins)
+
+    def render_attribution(self, run: Optional[str] = None) -> str:
+        return render_attribution(self.attribution(run=run))
+
+    def export_trace(self, path) -> int:
+        """Write the Chrome/Perfetto trace; returns the event count."""
+        if self.tracer is None:
+            raise RuntimeError("telemetry was created with trace=False")
+        self.tracer.export(path)
+        return len(self.tracer)
+
+    def export_metrics(self, path) -> None:
+        """Write the metrics JSON, embedding the attribution report."""
+        if self.registry is None:
+            raise RuntimeError("telemetry was created with metrics=False")
+        self.registry.export(path, extra={
+            "attribution": self.attribution(),
+            "transfer_samples": [s.to_dict() for s in self.transfers],
+        })
+
+
+@contextmanager
+def telemetry_context(trace: bool = True, metrics: bool = True):
+    """Install a fresh :class:`Telemetry` as the ambient sink."""
+    tele = Telemetry(trace=trace, metrics=metrics)
+    install_telemetry(tele)
+    try:
+        yield tele
+    finally:
+        clear_telemetry(tele)

@@ -26,6 +26,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
+from repro.obs.context import active_telemetry
 from repro.runtime.scheduler import PollingSpec, SchedulerStats
 from repro.runtime.task import Task
 
@@ -99,6 +100,9 @@ class WorkStealingScheduler:
         if victim is not None:
             self.steals += 1
             self.stats.popped += 1
+            tele = active_telemetry()
+            if tele is not None and self.machine is not None:
+                tele.on_steal(self.machine, core_id)
             return self._deques[victim].popleft()   # FIFO from victim
         # Drain the pre-start deque if any.
         pre = self._deques.get(-1)

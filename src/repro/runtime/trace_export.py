@@ -18,9 +18,10 @@ Usage::
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
+
+from repro.obs.export import chrome_trace_json
 
 __all__ = ["TraceEvent", "RuntimeTracer"]
 
@@ -112,11 +113,10 @@ class RuntimeTracer:
 
     # -- export ----------------------------------------------------------
     def to_chrome_json(self) -> str:
-        payload = {
-            "traceEvents": [e.to_chrome() for e in self.events],
-            "displayTimeUnit": "ms",
-        }
-        return json.dumps(payload, indent=1)
+        # Serialisation lives in repro.obs.export; indent=1 preserves
+        # this exporter's historical byte-for-byte output.
+        return chrome_trace_json([e.to_chrome() for e in self.events],
+                                 indent=1)
 
     def export(self, path: str) -> int:
         """Write the Chrome-tracing JSON; returns the event count."""

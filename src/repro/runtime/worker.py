@@ -19,6 +19,7 @@ from typing import Generator, Optional
 
 from repro.hardware.frequency import CoreActivity
 from repro.hardware.topology import Machine
+from repro.obs.context import active_telemetry
 from repro.runtime.task import Task
 from repro.sim import noisy
 from repro.sim.events import Interrupt
@@ -81,6 +82,7 @@ class Worker:
         machine = self.machine
         machine.set_core_activity(self.core_id, CoreActivity.SCALAR,
                                   uncore_active=False)
+        discarded = False
         try:
             my_socket = machine.cores[self.core_id].socket_id
             if hasattr(sched, "register_worker"):
@@ -119,9 +121,17 @@ class Worker:
             task, self.current_task = self.current_task, None
             if task is not None and not task.done and self._requeue_on_crash:
                 runtime.requeue(task)
+        except GeneratorExit:
+            # The suspended loop is being closed because its simulation
+            # was discarded (GC of a dead cluster).  Restoring core
+            # state would mutate a dead machine at a GC-dependent
+            # moment — observable as nondeterministic telemetry.
+            discarded = True
+            raise
         finally:
-            machine.set_core_activity(self.core_id, CoreActivity.IDLE)
-            machine.set_streaming(self.core_id, False)
+            if not discarded:
+                machine.set_core_activity(self.core_id, CoreActivity.IDLE)
+                machine.set_streaming(self.core_id, False)
 
     def _execute(self, task: Task) -> Generator:
         machine = self.machine
@@ -130,6 +140,10 @@ class Worker:
         spec = machine.spec
         self.current_task = task
         task.start_time = sim.now
+        tele = active_telemetry()
+        span = None if tele is None else tele.begin_span(
+            machine, self.core_id, task.name, "task",
+            flops=task.cost.flops, bytes=task.cost.bytes)
 
         # Per-task runtime management overhead (dequeue, codelet setup).
         overhead = noisy(self.runtime.spec.task_overhead_s, spec.noise, rng)
@@ -190,4 +204,8 @@ class Worker:
         self.tasks_executed += 1
         self.busy_time += exec_time + overhead
         self.current_task = None
+        if tele is not None:
+            tele.finish_span(machine, span)
+            tele.on_task_done(machine, self.core_id, task,
+                              busy=exec_time + overhead, stall=stall)
         self.runtime.on_task_done(task)

@@ -34,6 +34,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
+from repro.obs import context as _obs_context
 from repro.sim.events import Event, Interrupt, Timeout
 
 __all__ = ["Simulator", "Process", "ScheduledHandle", "SimulationError"]
@@ -170,6 +171,8 @@ class Simulator:
                 continue
             handle.fired = True
             self._now = time
+            if _obs_context._ACTIVE is not None:
+                _obs_context._ACTIVE.on_sim_event()
             callback(*args)
         if until is not None and until > self._now:
             self._now = until
@@ -192,6 +195,8 @@ class Simulator:
                 continue
             handle.fired = True
             self._now = time
+            if _obs_context._ACTIVE is not None:
+                _obs_context._ACTIVE.on_sim_event()
             callback(*args)
             return
         raise SimulationError("step() on an empty event queue")

@@ -32,6 +32,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.obs import context as _obs_context
 from repro.sim.engine import ScheduledHandle, SimulationError, Simulator
 from repro.sim.events import Event
 
@@ -191,6 +192,8 @@ class FluidNetwork:
                 raise SimulationError(
                     f"resource {res.name!r} belongs to another network")
         self._flows[flow] = None
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_flow_start(self, flow)
         self._recompute()
         return flow
 
@@ -264,6 +267,8 @@ class FluidNetwork:
             for flow in finished:
                 self._complete(flow)
         self._reschedule_completions()
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_rates_changed(self)
 
     def _is_finished(self, flow: Flow) -> bool:
         """True when the flow's remainder is numerically done.
@@ -397,5 +402,7 @@ class FluidNetwork:
         flow.transferred = flow.size if flow.size is not None else flow.transferred
         done = flow.done
         self._deactivate(flow)
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_flow_end(self, flow)
         if done is not None and not done.triggered:
             done.succeed(self.sim.now)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, main, run_experiment
@@ -41,3 +43,43 @@ def test_all_registered_experiments_have_fast_params():
     from repro.cli import _FAST_KWARGS
     for name in EXPERIMENTS:
         assert name in _FAST_KWARGS or name in ("fig1a", "fig1b")
+
+
+def test_run_with_trace_and_metrics(capsys, tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    trace = tmp_path / "t.json"
+    metrics = tmp_path / "m.json"
+    assert main(["run", "fig9", "--fast", "--trace", str(trace),
+                 "--metrics", str(metrics)]) == 0
+    assert validate_chrome_trace(trace.read_text()) == []
+    doc = json.loads(metrics.read_text())
+    assert doc["metrics"]["sim.events"]["value"] > 0
+    assert "attribution" in doc
+
+
+def test_trace_summary_command(capsys, tmp_path):
+    trace = tmp_path / "t.json"
+    assert main(["run", "fig9", "--fast", "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["trace-summary", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "counter tracks" in out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"traceEvents": [{"ph": "X"}]}')
+    assert main(["trace-summary", str(bad)]) == 1
+
+
+def test_bench_command(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--experiments", "fig9", "--out",
+                 str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["bench"] == "pr2"
+    assert doc["seconds"]["fig9"] > 0
+    assert doc["total_seconds"] >= doc["seconds"]["fig9"]
+
+
+def test_log_level_flag(capsys):
+    assert main(["--log-level", "INFO", "list"]) == 0

@@ -1,0 +1,112 @@
+"""Metrics registry: instrument semantics, snapshot/delta, exports."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               metric_key)
+
+
+def test_metric_key_rendering():
+    assert metric_key("net.transfers", ()) == "net.transfers"
+    assert metric_key("net.transfers", (("protocol", "eager"),)) == \
+        "net.transfers{protocol=eager}"
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("sim.events")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_same_name_different_labels_coexist():
+    reg = MetricsRegistry()
+    reg.counter("net.transfers", protocol="eager").inc()
+    reg.counter("net.transfers", protocol="rendezvous").inc(2)
+    assert reg.counter("net.transfers", protocol="eager").value == 1
+    assert reg.counter("net.transfers", protocol="rendezvous").value == 2
+    assert len(reg) == 2
+
+
+def test_instrument_identity_is_stable():
+    reg = MetricsRegistry()
+    assert reg.counter("a", x=1) is reg.counter("a", x=1)
+    assert reg.gauge("g") is reg.gauge("g")
+
+
+def test_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("a")
+    with pytest.raises(TypeError):
+        reg.gauge("a")
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge()
+    g.set(4.0)
+    g.inc()
+    g.dec(2.0)
+    assert g.value == 3.0
+
+
+def test_histogram_buckets_sum_count():
+    h = Histogram(bounds=[1.0, 10.0])
+    for v in (0.5, 5.0, 50.0, 0.2):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(55.7)
+    assert h.counts == [2, 1, 1]       # <=1, <=10, overflow
+    assert h.mean == pytest.approx(55.7 / 4)
+
+
+def test_snapshot_and_delta():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(5)
+    reg.gauge("g").set(7)
+    reg.histogram("h", buckets=[1.0]).observe(0.5)
+    before = reg.snapshot()
+
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(9)
+    reg.histogram("h", buckets=[1.0]).observe(2.0)
+    delta = reg.delta(before)
+
+    assert delta["c"] == {"type": "counter", "value": 3}
+    assert delta["g"] == {"type": "gauge", "value": 9}
+    assert delta["h"]["value"]["count"] == 1
+    assert delta["h"]["value"]["buckets"] == [0, 1]
+
+
+def test_delta_omits_unchanged_counters():
+    reg = MetricsRegistry()
+    reg.counter("quiet").inc(2)
+    before = reg.snapshot()
+    reg.counter("busy").inc()
+    delta = reg.delta(before)
+    assert "quiet" not in delta
+    assert delta["busy"]["value"] == 1
+
+
+def test_export_is_deterministic_and_parseable(tmp_path):
+    def build():
+        reg = MetricsRegistry()
+        reg.counter("z.last").inc()
+        reg.counter("a.first", k="v").inc(2)
+        reg.gauge("mid").set(1.5)
+        return reg
+
+    a, b = build().to_json(), build().to_json()
+    assert a == b
+    doc = json.loads(a)
+    assert doc["metrics"]["a.first{k=v}"]["value"] == 2
+
+    path = tmp_path / "m.json"
+    build().export(path, extra={"note": "hi"})
+    on_disk = json.loads(path.read_text())
+    assert on_disk["note"] == "hi"
+    assert on_disk["metrics"] == doc["metrics"]

@@ -72,6 +72,19 @@ def test_chrome_json_valid(tmp_path):
     assert {"name", "pid", "tid", "cat"} <= set(event)
 
 
+def test_chrome_json_matches_legacy_format():
+    # to_chrome_json now delegates to repro.obs.export; the bytes must
+    # stay identical to the original inline json.dumps rendering.
+    cluster, world, runtimes, comm, tracer = make_traced()
+    runtimes[0].submit(cpu_task())
+    runtimes[0].wait_all()
+    cluster.sim.run()
+    legacy = json.dumps(
+        {"traceEvents": [e.to_chrome() for e in tracer.events],
+         "displayTimeUnit": "ms"}, indent=1)
+    assert tracer.to_chrome_json() == legacy
+
+
 def test_busy_time_accounting():
     cluster, world, runtimes, comm, tracer = make_traced(n_workers=1)
     for i in range(3):
