@@ -1,0 +1,53 @@
+"""Micro-benchmark of the incremental fluid solver (PR 3 tentpole).
+
+Unlike the figure benchmarks, this one stresses the solver directly: a
+many-component flow graph (one shared bus per "socket", fig10-style)
+driven by a churn of start/complete/capacity events.  With global
+recomputation this is quadratic in the number of components — the
+incremental solver re-solves only the touched component, so the event
+cost stays flat as components are added.
+"""
+
+from conftest import note, run_once
+
+from repro.sim import Flow, FluidNetwork, Resource, Simulator
+
+N_COMPONENTS = 16
+FLOWS_PER_COMPONENT = 12
+ROUNDS = 40
+
+
+def churn(n_components=N_COMPONENTS, per=FLOWS_PER_COMPONENT,
+          rounds=ROUNDS):
+    """Drive isolated bus components through start/finish/capacity churn.
+
+    Returns (events, total simulated seconds) so the benchmark can sanity
+    check that all work actually happened.
+    """
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    buses = [Resource(f"bus{i}", 100.0) for i in range(n_components)]
+    events = 0
+    for r in range(rounds):
+        flows = [net.start_flow(Flow([buses[i % n_components]],
+                                     size=50.0 + (i % per),
+                                     demand=40.0))
+                 for i in range(n_components * per)]
+        events += len(flows)
+        # Mid-round capacity wiggle on every component (the fig10
+        # set_core_activity pattern), then drain.
+        sim.run(until=sim.now + 0.2)
+        for i, bus in enumerate(buses):
+            bus.set_capacity(90.0 + (r + i) % 20)
+            events += 1
+        sim.run()
+        assert all(f.done.triggered for f in flows)
+    return events, sim.now
+
+
+def test_fluid_component_churn(benchmark):
+    events, sim_seconds = run_once(benchmark, churn)
+    note(benchmark, components=N_COMPONENTS,
+         flows=N_COMPONENTS * FLOWS_PER_COMPONENT * ROUNDS,
+         events=events, simulated_seconds=round(sim_seconds, 3))
+    assert events > N_COMPONENTS * FLOWS_PER_COMPONENT * ROUNDS

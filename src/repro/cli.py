@@ -165,7 +165,7 @@ def _bench(args) -> int:
         seconds[name] = round(time.perf_counter() - t0, 3)
         print(f"[bench] {name}: {seconds[name]:.1f}s", file=sys.stderr)
     doc = {
-        "bench": "pr2",
+        "bench": "pr3",
         "mode": "fast",
         "spec": args.spec,
         "python": platform.python_version(),
@@ -234,8 +234,8 @@ def main(argv: Optional[list] = None) -> int:
     topo.add_argument("--spec", default="henri")
     bench = sub.add_parser(
         "bench", help="time the --fast experiment subset and write a "
-        "perf-baseline JSON (BENCH_pr2.json)")
-    bench.add_argument("--out", default="BENCH_pr2.json",
+        "perf-baseline JSON (BENCH_pr3.json)")
+    bench.add_argument("--out", default="BENCH_pr3.json",
                        help="output JSON path")
     bench.add_argument("--spec", default="henri")
     bench.add_argument("--experiments",

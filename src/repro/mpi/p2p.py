@@ -116,6 +116,30 @@ class P2PContext:
         """Transfers queued on *node_id*'s communication thread."""
         return self._queues[node_id].backlog
 
+    def cancel(self, req: Request) -> bool:
+        """Withdraw an *unmatched* request.
+
+        Returns True if *req* was still waiting for a partner: it is
+        removed from the pending queues and its ``done`` event fails
+        with :class:`TransportError` so waiters unblock.  A request that
+        already matched started a transfer on the communication thread
+        and can no longer be cancelled (mirroring the fluid layer,
+        where only the owner of a still-running flow may stop it) —
+        then, as for an already-completed one, returns False.
+        """
+        key = (req.src, req.dst, req.tag)
+        pending = (self._pending_sends if req.kind == "send"
+                   else self._pending_recvs)
+        waiting = pending.get(key)
+        if not waiting or req not in waiting:
+            return False
+        waiting.remove(req)
+        if not waiting:
+            del pending[key]
+        req.done.fail(TransportError(
+            "request cancelled", src=req.src, dst=req.dst, size=req.size))
+        return True
+
     # -- matching ----------------------------------------------------------
     def _match(self, req: Request) -> None:
         key = (req.src, req.dst, req.tag)

@@ -395,20 +395,16 @@ class ProtocolEngine:
     def _eager_flow(self, src_m: Machine, src_core: int, src_buf: Buffer,
                     dst_m: Machine, dst_buf: Buffer, size: int) -> Flow:
         """CPU-copy pipeline through src memory, the wire, dst memory."""
+        # The local load path may already contain the destination
+        # controller on loopback-style setups; Flow.__init__ dedupes the
+        # path order-preservingly.
         path = (src_m.load_path(src_core, src_buf.numa_id)
                 + [src_m.pcie]
                 + self.cluster.wire_path(src_m.node_id, dst_m.node_id)
                 + [dst_m.pcie,
                    dst_m.numa_nodes[dst_buf.numa_id].controller])
-        # De-duplicate while keeping order (local load path may already
-        # contain the destination controller on loopback-style setups).
-        seen, uniq = set(), []
-        for res in path:
-            if id(res) not in seen:
-                seen.add(id(res))
-                uniq.append(res)
         return self.net.transfer(
-            uniq, size=size, demand=src_m.spec.nic.eager_copy_bw,
+            path, size=size, demand=src_m.spec.nic.eager_copy_bw,
             label=f"eager:{src_m.node_id}->{dst_m.node_id}")
 
     def _dma_flow(self, src_m: Machine, src_buf: Buffer,

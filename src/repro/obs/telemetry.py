@@ -53,7 +53,7 @@ _PID_BLOCK = 1000   # pid block per cluster
 class _Binding:
     """Lane bookkeeping for one registered cluster (or bare network)."""
 
-    __slots__ = ("index", "base", "fabric", "wires")
+    __slots__ = ("index", "base", "fabric", "wires", "primed")
 
     def __init__(self, index: int):
         self.index = index
@@ -61,6 +61,8 @@ class _Binding:
         self.fabric = self.base + _FABRIC_OFF
         # [(src, dst, Resource)] — wire lanes, in (src, dst) order.
         self.wires: List[Tuple[int, int, object]] = []
+        # Whether every wire counter track has its initial sample.
+        self.primed = False
 
 
 class Telemetry:
@@ -132,10 +134,17 @@ class Telemetry:
         if self.registry is not None:
             self.registry.counter("fluid.flows_started").inc()
 
-    def on_flow_end(self, net, flow) -> None:
-        """A finite flow completed (span on its wire lane, if any)."""
+    def on_flow_end(self, net, flow, aborted: bool = False) -> None:
+        """A finite flow completed — or was stopped (*aborted*).
+
+        Stopped flows close their wire span like completed ones (with an
+        ``aborted`` arg) so counters and spans stay balanced against
+        ``on_flow_start``.
+        """
         if self.registry is not None:
             self.registry.counter("fluid.flows_completed").inc()
+            if aborted:
+                self.registry.counter("fluid.flows_aborted").inc()
         tracer = self.tracer
         if tracer is None:
             return
@@ -144,24 +153,40 @@ class Telemetry:
             return
         for lane, (_a, _b, res) in enumerate(binding.wires):
             if res in flow.resources:
+                args = {"bytes": flow.transferred}
+                if aborted:
+                    args["aborted"] = True
                 tracer.complete(
                     binding.fabric, lane, flow.label or "flow", "flow",
-                    flow.start_time, net.sim.now,
-                    {"bytes": flow.transferred})
+                    flow.start_time, net.sim.now, args)
                 return
 
-    def on_rates_changed(self, net) -> None:
-        """Rates were reassigned; sample wire-bandwidth counter tracks."""
+    def on_rates_changed(self, net, dirty_resources=None) -> None:
+        """Rates were reassigned; sample wire-bandwidth counter tracks.
+
+        *dirty_resources* is the set of resources whose connected
+        component was re-solved (``None`` = unknown, sample everything).
+        Only dirty wires are sampled — untouched components keep their
+        rates bitwise, so the tracer's value dedup would drop their
+        samples anyway.  The first pass after a cluster binds primes
+        every wire track with its initial value regardless.
+        """
         if self.registry is not None:
             self.registry.counter("fluid.rate_updates").inc()
         tracer = self.tracer
         if tracer is None:
             return
         binding = self._bindings.get(id(net))
-        if binding is None:
+        if binding is None or not binding.wires:
             return
         now = net.sim.now
+        prime = not binding.primed
+        if prime:
+            binding.primed = True
         for a, b, res in binding.wires:
+            if not (prime or dirty_resources is None
+                    or res in dirty_resources):
+                continue
             bw = net.utilization(res) * res.capacity
             tracer.counter(binding.fabric, f"wire{a}->{b} GB/s", now,
                            bw / 1e9)

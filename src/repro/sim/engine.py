@@ -50,15 +50,23 @@ class ScheduledHandle:
     ``daemon`` entries (background samplers, watchdogs) never keep the
     event loop alive: ``run()`` without a horizon stops once only
     daemon events remain, like daemon threads at interpreter exit.
+
+    A handle may be re-armed with :meth:`Simulator.reschedule`, which
+    bumps ``generation``; heap entries carry the generation they were
+    pushed with, so a superseded entry is recognised as stale when it
+    surfaces and skipped without a callback (this avoids allocating a
+    fresh handle per reschedule in hot paths such as fluid-flow
+    completion updates).
     """
 
-    __slots__ = ("time", "cancelled", "fired", "daemon")
+    __slots__ = ("time", "cancelled", "fired", "daemon", "generation")
 
     def __init__(self, time: float, daemon: bool = False):
         self.time = time
         self.cancelled = False
         self.fired = False
         self.daemon = daemon
+        self.generation = 0
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent).
@@ -83,7 +91,8 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: List[Tuple[float, int, ScheduledHandle, Callable, tuple]] = []
+        self._queue: List[
+            Tuple[float, int, ScheduledHandle, int, Callable, tuple]] = []
         self._processing_events: List[Event] = []
         self._foreground = 0  # pending non-daemon entries
 
@@ -113,8 +122,33 @@ class Simulator:
                 f"cannot schedule at {time!r} < now={self._now!r}")
         handle = ScheduledHandle(time, daemon)
         self._seq += 1
-        heapq.heappush(self._queue, (time, self._seq, handle, callback, args))
+        heapq.heappush(self._queue,
+                       (time, self._seq, handle, 0, callback, args))
         if not daemon:
+            self._foreground += 1
+        return handle
+
+    def reschedule(self, handle: ScheduledHandle, time: float,
+                   callback: Callable, *args: Any) -> ScheduledHandle:
+        """Re-arm *handle* for ``callback(*args)`` at absolute *time*.
+
+        Reuses the handle object instead of allocating a new one: the
+        generation counter is bumped, so the superseded heap entry (if
+        still queued) becomes stale and is dropped when popped.  The
+        handle's ``daemon`` flag is retained.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time!r} < now={self._now!r}")
+        handle.time = time
+        handle.cancelled = False
+        handle.fired = False
+        handle.generation += 1
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (time, self._seq, handle, handle.generation, callback, args))
+        if not handle.daemon:
             self._foreground += 1
         return handle
 
@@ -160,14 +194,14 @@ class Simulator:
         while self._queue:
             if until is None and not self._foreground:
                 return
-            time, _seq, handle, callback, args = self._queue[0]
+            time, _seq, handle, gen, callback, args = self._queue[0]
             if until is not None and time > until:
                 self._now = until
                 return
             heapq.heappop(self._queue)
             if not handle.daemon:
                 self._foreground -= 1
-            if handle.cancelled:
+            if handle.cancelled or gen != handle.generation:
                 continue
             handle.fired = True
             self._now = time
@@ -179,8 +213,12 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
-        while self._queue and self._queue[0][2].cancelled:
-            _, _, handle, _, _ = heapq.heappop(self._queue)
+        while self._queue:
+            head = self._queue[0]
+            handle = head[2]
+            if not (handle.cancelled or head[3] != handle.generation):
+                break
+            heapq.heappop(self._queue)
             if not handle.daemon:
                 self._foreground -= 1
         return self._queue[0][0] if self._queue else float("inf")
@@ -188,10 +226,11 @@ class Simulator:
     def step(self) -> None:
         """Execute exactly the next pending callback."""
         while self._queue:
-            time, _seq, handle, callback, args = heapq.heappop(self._queue)
+            time, _seq, handle, gen, callback, args = \
+                heapq.heappop(self._queue)
             if not handle.daemon:
                 self._foreground -= 1
-            if handle.cancelled:
+            if handle.cancelled or gen != handle.generation:
                 continue
             handle.fired = True
             self._now = time

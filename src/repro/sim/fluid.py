@@ -22,9 +22,15 @@ Two refinements matter for reproducing the paper:
   different terms than a core's load/store unit; a weight ≠ 1 captures
   that the NIC does not degrade like "just one more core".
 
-The model is event-driven: whenever a flow starts, finishes, changes
-demand, or a capacity changes, all rates are recomputed and the finite
-flows' completion events are rescheduled.
+The model is event-driven, and rate recomputation is *incremental*:
+flows and resources form a bipartite graph, and a start / stop / demand
+/ capacity event only re-solves the connected component of flows that
+(transitively) share a resource with the changed flow.  Flows in other
+components keep their rates untouched — progressive filling restricted
+to a component freezes its flows in exactly the same order as a global
+pass would, so the allocation (and its floating-point rounding) is the
+one a full recompute produces.  See "Fluid solver internals" in
+DESIGN.md for the invariants this relies on.
 """
 
 from __future__ import annotations
@@ -60,12 +66,12 @@ class Resource:
 
     def set_capacity(self, capacity: float) -> None:
         """Change the capacity (e.g. uncore frequency change); triggers a
-        global rate recomputation."""
+        rate recomputation of this resource's connected component."""
         if capacity <= 0:
             raise ValueError("capacity must be > 0")
         self._capacity = float(capacity)
         if self.network is not None:
-            self.network.update()
+            self.network.update(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Resource({self.name!r}, {self._capacity:.3g} B/s)"
@@ -77,7 +83,11 @@ class Flow:
     Parameters
     ----------
     resources:
-        Ordered resources the flow crosses (path).  May be empty only if
+        Ordered resources the flow crosses (path).  A resource appearing
+        several times is counted **once**: duplicates are removed here,
+        preserving first-occurrence order, so the water-level
+        denominator, the capacity subtraction and ``utilization()`` all
+        agree on one occupancy per resource.  May be empty only if
         *demand* is finite (the flow then simply runs at its demand).
     size:
         Total payload bytes, or ``None`` for a continuous background flow
@@ -99,7 +109,8 @@ class Flow:
     __slots__ = (
         "resources", "size", "demand", "weight", "_usage_scalar",
         "_usage_map", "label", "rate", "transferred", "done",
-        "_completion_handle", "_active", "start_time",
+        "_completion_handle", "_active", "start_time", "_usages",
+        "_finish_eps", "_seq",
     )
 
     def __init__(
@@ -111,7 +122,9 @@ class Flow:
         usage: float | Dict[Resource, float] = 1.0,
         label: str = "",
     ):
-        self.resources: Tuple[Resource, ...] = tuple(resources)
+        # Dedupe the path while preserving first-occurrence order
+        # (resources hash by identity, so dict.fromkeys is an id-dedup).
+        self.resources: Tuple[Resource, ...] = tuple(dict.fromkeys(resources))
         if size is not None and size < 0:
             raise ValueError("flow size must be >= 0")
         if not self.resources and not math.isfinite(demand):
@@ -136,6 +149,13 @@ class Flow:
         self._completion_handle: Optional[ScheduledHandle] = None
         self._active = False
         self.start_time = 0.0
+        # Per-path-resource usage multipliers, cached once (the solver's
+        # hot loops would otherwise re-resolve the usage map per round).
+        self._usages: Tuple[float, ...] = tuple(
+            self.usage_on(res) for res in self.resources)
+        # Completion threshold, cached for the finished-scan hot loop.
+        self._finish_eps = _EPS * max(1.0, size if size else 1.0)
+        self._seq = 0  # activation order within the owning network
 
     def usage_on(self, resource: Resource) -> float:
         """Multiplier applied to this flow's rate on *resource*."""
@@ -160,7 +180,16 @@ class Flow:
 
 
 class FluidNetwork:
-    """Set of active flows over shared resources; owns rate assignment."""
+    """Set of active flows over shared resources; owns rate assignment.
+
+    Internals (see DESIGN.md "Fluid solver internals"): the network
+    maintains a flow↔resource adjacency (:attr:`_res_flows`) updated on
+    start/stop, gathers the *dirty connected component* of an event by a
+    traversal over that adjacency, and re-runs progressive filling only
+    on the dirty flows.  Completion events are rescheduled lazily: a
+    heap entry is cancelled/re-pushed only when the flow's completion
+    *time* actually changed.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
@@ -170,6 +199,11 @@ class FluidNetwork:
         # nondeterministic order.
         self._flows: Dict[Flow, None] = {}
         self._last_update = 0.0
+        # Persistent adjacency: resource -> insertion-ordered active
+        # flows crossing it.  Maintained incrementally on start/stop so
+        # recomputes don't rebuild it from scratch.
+        self._res_flows: Dict[Resource, Dict[Flow, None]] = {}
+        self._next_seq = 0
 
     # -- public API -------------------------------------------------------
     @property
@@ -181,20 +215,28 @@ class FluidNetwork:
         (finite flows only) with the completion time as value."""
         if flow._active:
             raise SimulationError("flow already active")
+        for res in flow.resources:
+            if res.network is not None and res.network is not self:
+                raise SimulationError(
+                    f"resource {res.name!r} belongs to another network")
         self._advance()
         flow._active = True
         flow.start_time = self.sim.now
         flow.done = self.sim.event()
+        self._next_seq += 1
+        flow._seq = self._next_seq
+        res_flows = self._res_flows
         for res in flow.resources:
             if res.network is None:
                 res.network = self
-            elif res.network is not self:
-                raise SimulationError(
-                    f"resource {res.name!r} belongs to another network")
+            fset = res_flows.get(res)
+            if fset is None:
+                fset = res_flows[res] = {}
+            fset[flow] = None
         self._flows[flow] = None
         if _obs_context._ACTIVE is not None:
             _obs_context._ACTIVE.on_flow_start(self, flow)
-        self._recompute()
+        self._recompute(seed_flows=(flow,))
         return flow
 
     def transfer(self, resources: Sequence[Resource], size: float,
@@ -208,35 +250,53 @@ class FluidNetwork:
 
     def stop_flow(self, flow: Flow) -> float:
         """Deactivate *flow* (e.g. a continuous background flow); returns
-        bytes transferred so far."""
+        bytes transferred so far.
+
+        Fires the ``on_flow_end`` telemetry hook with ``aborted=True``
+        so stopped flows close their wire spans and keep the
+        started/completed counters in step."""
         if not flow._active:
             return flow.transferred
         self._advance()
         self._deactivate(flow)
-        self._recompute()
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_flow_end(self, flow, aborted=True)
+        self._recompute(seed_resources=flow.resources)
         return flow.transferred
 
     def set_demand(self, flow: Flow, demand: float) -> None:
-        """Change a flow's demand cap and recompute rates."""
+        """Change an *active* flow's demand cap and recompute the rates
+        of its connected component."""
         if demand <= 0:
             raise ValueError("demand must be > 0")
+        if not flow._active:
+            raise SimulationError(
+                f"set_demand on inactive flow {flow.label!r}")
         self._advance()
         flow.demand = float(demand)
-        self._recompute()
+        self._recompute(seed_flows=(flow,))
 
-    def update(self) -> None:
-        """Recompute rates after an external change (capacity update)."""
+    def update(self, resource: Optional[Resource] = None) -> None:
+        """Recompute rates after an external change.
+
+        With *resource* given (a capacity update), only that resource's
+        connected component is re-solved; without, every flow is."""
         self._advance()
-        self._recompute()
+        if resource is not None:
+            self._recompute(seed_resources=(resource,))
+        else:
+            self._recompute(seed_flows=tuple(self._flows))
 
     def utilization(self, resource: Resource) -> float:
         """Fraction of *resource* capacity currently consumed (0..1+)."""
-        used = sum(f.rate * f.usage_on(resource)
-                   for f in self._flows if resource in f.resources)
+        fset = self._res_flows.get(resource)
+        if not fset:
+            return 0.0
+        used = sum(f.rate * f.usage_on(resource) for f in fset)
         return used / resource.capacity
 
     def flows_through(self, resource: Resource) -> List[Flow]:
-        return [f for f in self._flows if resource in f.resources]
+        return list(self._res_flows.get(resource, ()))
 
     # -- internals ----------------------------------------------------------
     def _advance(self) -> None:
@@ -245,7 +305,10 @@ class FluidNetwork:
         dt = now - self._last_update
         if dt > 0:
             for flow in self._flows:
-                flow.transferred += flow.rate * dt
+                # Skipping starved flows is bit-safe: x + 0.0 == x for
+                # the non-negative byte counts accumulated here.
+                if flow.rate:
+                    flow.transferred += flow.rate * dt
         self._last_update = now
 
     def _deactivate(self, flow: Flow) -> None:
@@ -255,20 +318,100 @@ class FluidNetwork:
             flow._completion_handle.cancel()
             flow._completion_handle = None
         self._flows.pop(flow, None)
+        res_flows = self._res_flows
+        for res in flow.resources:
+            fset = res_flows.get(res)
+            if fset is not None:
+                fset.pop(flow, None)
+                if not fset:
+                    del res_flows[res]
 
-    def _recompute(self) -> None:
-        # Completing a flow frees capacity, which can push other flows to
-        # completion at the same instant; loop until a fixed point.
+    def _dirty_component(self, seed_flows: Iterable[Flow],
+                         seed_resources: Iterable[Resource]) -> List[Flow]:
+        """Flows (transitively) sharing a resource with the seeds.
+
+        Traverses the flow↔resource adjacency and returns the union of
+        the seeds' connected components in *activation order* — the
+        order the global solver would visit them in.
+        """
+        res_flows = self._res_flows
+        dirty: Dict[Flow, None] = {}
+        res_stack: List[Resource] = []
+        seen_res: Set[Resource] = set()
+        for flow in seed_flows:
+            if flow._active and flow not in dirty:
+                dirty[flow] = None
+                res_stack.extend(flow.resources)
+        res_stack.extend(seed_resources)
+        while res_stack:
+            res = res_stack.pop()
+            if res in seen_res:
+                continue
+            seen_res.add(res)
+            for flow in res_flows.get(res, ()):
+                if flow not in dirty:
+                    dirty[flow] = None
+                    for r in flow.resources:
+                        if r not in seen_res:
+                            res_stack.append(r)
+        if len(dirty) <= 1:
+            return list(dirty)
+        return sorted(dirty, key=lambda f: f._seq)
+
+    def _recompute(self, seed_flows: Sequence[Flow] = (),
+                   seed_resources: Sequence[Resource] = ()) -> None:
+        """Re-solve the dirty component(s) and fire completions.
+
+        Completing a flow frees capacity, which can push other flows to
+        completion at the same instant; loop until a fixed point.  The
+        finished scan covers *all* active flows (not just the dirty
+        component) in insertion order so that same-instant completions
+        fire in exactly the deterministic order the global solver used.
+        """
+        pending_flows: List[Flow] = list(seed_flows)
+        pending_res: List[Resource] = list(seed_resources)
+        touched: Dict[Resource, None] = {}
         while True:
-            self._assign_rates()
-            finished = [f for f in self._flows if self._is_finished(f)]
-            if not finished:
-                break
+            # Complete every flow that is already done at this instant,
+            # in insertion order, before re-solving: freed capacity
+            # seeds further dirty components.
+            finished = self._finished_flows()
             for flow in finished:
+                pending_res.extend(flow.resources)
                 self._complete(flow)
+            if not (pending_flows or pending_res):
+                break
+            # Seed resources count as touched even when no remaining
+            # flow crosses them (a stopped/completed flow's wire drops
+            # to zero and must still be re-sampled by telemetry).
+            for res in pending_res:
+                touched[res] = None
+            dirty = self._dirty_component(pending_flows, pending_res)
+            pending_flows = []
+            pending_res = []
+            self._assign_rates(dirty, touched)
         self._reschedule_completions()
         if _obs_context._ACTIVE is not None:
-            _obs_context._ACTIVE.on_rates_changed(self)
+            _obs_context._ACTIVE.on_rates_changed(self, touched)
+
+    def _finished_flows(self) -> List[Flow]:
+        """Active flows whose remainder is numerically done, in
+        insertion order (the inlined hot-loop form of
+        :meth:`_is_finished`)."""
+        # Representable-time floor at the current instant, hoisted out
+        # of the per-flow check (see _is_finished).
+        time_floor = max(1e-12, 8.0 * abs(self.sim.now) * 2.3e-16)
+        finished = []
+        for flow in self._flows:
+            size = flow.size
+            if size is None:
+                continue
+            remaining = size - flow.transferred
+            if remaining <= flow._finish_eps or (
+                    flow.rate > 0
+                    and remaining <= flow.rate * time_floor):
+                finished.append(flow)
+        return finished
 
     def _is_finished(self, flow: Flow) -> bool:
         """True when the flow's remainder is numerically done.
@@ -282,21 +425,27 @@ class FluidNetwork:
         remaining = flow.remaining
         if remaining is None:
             return False
-        if remaining <= _EPS * max(1.0, flow.size or 1.0):
+        if remaining <= flow._finish_eps:
             return True
         if flow.rate > 0:
             time_floor = max(1e-12, 8.0 * abs(self.sim.now) * 2.3e-16)
             return remaining <= flow.rate * time_floor
         return False
 
-    def _assign_rates(self) -> None:
-        """Weighted max-min fair allocation via progressive filling.
+    def _assign_rates(self, dirty: List[Flow],
+                      touched: Dict[Resource, None]) -> None:
+        """Weighted max-min fair allocation via progressive filling,
+        restricted to the *dirty* component(s).
 
         All working collections are insertion-ordered dicts-as-sets so
         the freezing order — and with it the floating-point rounding of
         the residual-capacity subtractions — is identical on every run.
+        Restricting the pass to a connected component preserves that
+        order: a component's flows only ever compete among themselves,
+        so the sequence of capacity subtractions on its resources is
+        the same one a global pass performs.
         """
-        unfixed: Dict[Flow, None] = dict.fromkeys(self._flows)
+        unfixed: Dict[Flow, None] = dict.fromkeys(dirty)
         # Flows with an empty path are only demand-limited.
         for flow in list(unfixed):
             if not flow.resources:
@@ -304,26 +453,31 @@ class FluidNetwork:
                 unfixed.pop(flow, None)
 
         avail: Dict[Resource, float] = {}
-        res_flows: Dict[Resource, Dict[Flow, None]] = {}
+        res_flows: Dict[Resource, Dict[Flow, float]] = {}
         for flow in unfixed:
-            for res in flow.resources:
-                if res not in avail:
+            for res, wu in zip(flow.resources, flow._usages):
+                fset = res_flows.get(res)
+                if fset is None:
                     avail[res] = res.capacity
-                    res_flows[res] = {}
-                res_flows[res][flow] = None
-        # Account for capacity consumed by already-fixed (empty-path) flows:
-        # none, by construction (empty path touches no resource).
+                    fset = res_flows[res] = {}
+                    touched[res] = None
+                fset[flow] = flow.weight * wu
 
         while unfixed:
-            # Water level at which each resource would saturate.
+            # Water level at which each resource would saturate.  The
+            # per-resource Σ weight·usage denominators are sums over the
+            # cached per-flow products stored in res_flows, so no usage
+            # lookups happen in this hot loop.
             level = math.inf
             for res, fset in res_flows.items():
                 if not fset:
                     continue
-                denom = sum(f.weight * f.usage_on(res) for f in fset)
+                denom = sum(fset.values())
                 if denom <= 0:
                     continue
-                level = min(level, avail[res] / denom)
+                lvl = avail[res] / denom
+                if lvl < level:
+                    level = lvl
             if not math.isfinite(level):
                 # No binding resource: every remaining flow must be
                 # demand-limited (paths through inf-capacity resources
@@ -347,11 +501,14 @@ class FluidNetwork:
                 continue
 
             # Otherwise freeze every flow crossing a bottleneck resource.
+            # Denominators are recomputed per resource: an earlier freeze
+            # in this same pass pops flows, which must be reflected (and
+            # keeps the rounding identical to the original solver).
             froze = False
             for res, fset in list(res_flows.items()):
                 if not fset:
                     continue
-                denom = sum(f.weight * f.usage_on(res) for f in fset)
+                denom = sum(fset.values())
                 if denom <= 0:
                     continue
                 if avail[res] / denom <= level * (1 + _REL_TOL):
@@ -369,33 +526,56 @@ class FluidNetwork:
     @staticmethod
     def _fix(flow: Flow, rate: float,
              avail: Dict[Resource, float],
-             res_flows: Dict[Resource, Dict[Flow, None]]) -> None:
-        flow.rate = max(0.0, rate)
-        for res in flow.resources:
-            avail[res] = max(0.0, avail[res] - flow.rate * flow.usage_on(res))
+             res_flows: Dict[Resource, Dict[Flow, float]]) -> None:
+        flow.rate = rate if rate > 0.0 else 0.0
+        for res, usage in zip(flow.resources, flow._usages):
+            left = avail[res] - flow.rate * usage
+            avail[res] = left if left > 0.0 else 0.0
             res_flows[res].pop(flow, None)
 
     def _reschedule_completions(self) -> None:
-        for flow in list(self._flows):
-            if flow._completion_handle is not None:
-                flow._completion_handle.cancel()
-                flow._completion_handle = None
-            remaining = flow.remaining
-            if remaining is None:
+        """(Re)arm completion events, reusing heap entries lazily.
+
+        A flow's completion entry is cancelled/re-pushed only when its
+        freshly computed completion *time* differs from the armed one —
+        same-instant recompute bursts and unrelated components cost no
+        heap churn at all.
+        """
+        sim = self.sim
+        now = sim.now
+        for flow in self._flows:
+            if flow.size is None:
                 continue
+            handle = flow._completion_handle
             if flow.rate <= 0:
-                continue  # starved: will be rescheduled on the next update
+                # Starved: rescheduled on the next update.
+                if handle is not None:
+                    handle.cancel()
+                    flow._completion_handle = None
+                continue
+            remaining = flow.size - flow.transferred
+            if remaining < 0.0:
+                remaining = 0.0
             eta = remaining / flow.rate
-            flow._completion_handle = self.sim.schedule(
-                eta, self._on_completion, flow)
+            when = now + eta
+            if handle is not None:
+                if handle.time == when:
+                    continue  # unchanged: reuse the armed entry
+                flow._completion_handle = sim.reschedule(
+                    handle, when, self._on_completion, flow)
+            else:
+                flow._completion_handle = sim.schedule_at(
+                    when, self._on_completion, flow)
 
     def _on_completion(self, flow: Flow) -> None:
+        flow._completion_handle = None
         self._advance()
         if not self._is_finished(flow):
-            # Rates changed under us; reschedule.
+            # Rates changed under us; reschedule this flow's completion.
             self._reschedule_completions()
             return
-        self._complete(flow)
+        # The finished scan inside _recompute completes *flow* (and any
+        # other flow due at this instant) in insertion order.
         self._recompute()
 
     def _complete(self, flow: Flow) -> None:

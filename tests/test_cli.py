@@ -76,7 +76,7 @@ def test_bench_command(capsys, tmp_path):
     assert main(["bench", "--experiments", "fig9", "--out",
                  str(out)]) == 0
     doc = json.loads(out.read_text())
-    assert doc["bench"] == "pr2"
+    assert doc["bench"] == "pr3"
     assert doc["seconds"]["fig9"] > 0
     assert doc["total_seconds"] >= doc["seconds"]["fig9"]
 
