@@ -1,0 +1,47 @@
+"""Parallel sweep execution — speedup and bit-identity (docs/PARALLEL.md).
+
+Regenerates fig10 once serially and once under a ``--jobs`` process
+pool, asserts the two results are identical down to the rendered
+report, and records both wall-clock laps so the benchmark report shows
+the realised speedup on this host (bounded by its CPU count).
+"""
+
+import os
+import time
+
+from conftest import note, run_once
+
+from repro.core import experiments as E
+from repro.core.executor import executor_context
+from repro.core.report import render_experiment
+
+WORKERS = (1, 2, 4, 8, 16, 24, 30, 34)
+JOBS = min(4, os.cpu_count() or 1)
+
+
+def test_fig10_parallel_identity_and_speedup(benchmark):
+    t0 = time.perf_counter()
+    serial = E.fig10(worker_counts=WORKERS)
+    serial_s = time.perf_counter() - t0
+
+    laps = []
+
+    def parallel_lap():
+        t = time.perf_counter()
+        with executor_context(JOBS):
+            result = E.fig10(worker_counts=WORKERS)
+        laps.append(time.perf_counter() - t)
+        return result
+
+    pooled = run_once(benchmark, parallel_lap)
+    parallel_s = laps[-1]
+
+    assert render_experiment(serial) == render_experiment(pooled)
+    for key, s in serial.series.items():
+        p = pooled.series[key]
+        assert (s.x, s.median, s.p10, s.p90) == \
+            (p.x, p.median, p.p10, p.p90)
+
+    note(benchmark, jobs=JOBS, host_cpus=os.cpu_count(),
+         serial_seconds=serial_s, parallel_seconds=parallel_s,
+         speedup=serial_s / parallel_s if parallel_s > 0 else 0.0)

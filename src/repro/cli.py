@@ -97,9 +97,12 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
-# Experiments whose sweeps are checkpointable through a CampaignJournal.
-_JOURNAL_CAPABLE = {"fig1", "fig1a", "fig1b", "fig4a", "fig4b", "fig5",
-                    "fig6a", "fig6b"}
+# Experiments whose sweeps are checkpointable through a CampaignJournal
+# (and, equivalently, parallelisable with --jobs: both ride on PointSpec
+# sweeps — see docs/PARALLEL.md).
+_JOURNAL_CAPABLE = {"fig1", "fig1a", "fig1b", "fig3a", "fig4a", "fig4b",
+                    "fig5", "fig6a", "fig6b", "fig7a", "fig7b", "fig9",
+                    "fig10", "overlap"}
 
 
 def run_experiment(name: str, spec: str = "henri", fast: bool = False,
@@ -150,6 +153,25 @@ def _setup_logging(level: str) -> None:
         stream=sys.stderr)
 
 
+def _bench_lap(names, spec: str, jobs: int) -> Dict[str, float]:
+    """Time the bench subset once, serially or under a --jobs pool."""
+    from contextlib import ExitStack
+
+    from repro.core.executor import executor_context
+    seconds: Dict[str, float] = {}
+    label = f"jobs={jobs}" if jobs != 1 else "serial"
+    with ExitStack() as stack:
+        if jobs != 1:
+            stack.enter_context(executor_context(jobs))
+        for name in names:
+            t0 = time.perf_counter()
+            run_experiment(name, spec=spec, fast=True)
+            seconds[name] = round(time.perf_counter() - t0, 3)
+            print(f"[bench {label}] {name}: {seconds[name]:.1f}s",
+                  file=sys.stderr)
+    return seconds
+
+
 def _bench(args) -> int:
     """Timed --fast experiment subset: the repo's perf trajectory."""
     names = [n.strip() for n in args.experiments.split(",") if n.strip()]
@@ -157,25 +179,28 @@ def _bench(args) -> int:
     if unknown:
         print(f"unknown bench experiment(s): {unknown}", file=sys.stderr)
         return 2
+    import os
     import platform
-    seconds: Dict[str, float] = {}
-    for name in names:
-        t0 = time.perf_counter()
-        run_experiment(name, spec=args.spec, fast=True)
-        seconds[name] = round(time.perf_counter() - t0, 3)
-        print(f"[bench] {name}: {seconds[name]:.1f}s", file=sys.stderr)
+    out = args.out if args.out else f"BENCH_{args.tag}.json"
+    seconds = _bench_lap(names, args.spec, jobs=1)
     doc = {
-        "bench": "pr3",
+        "bench": args.tag,
         "mode": "fast",
         "spec": args.spec,
         "python": platform.python_version(),
+        "host_cpus": os.cpu_count(),
         "seconds": seconds,
         "total_seconds": round(sum(seconds.values()), 3),
     }
-    with open(args.out, "w", encoding="utf-8") as fh:
+    if args.jobs != 1:
+        parallel = _bench_lap(names, args.spec, jobs=args.jobs)
+        doc["jobs"] = args.jobs
+        doc["seconds_parallel"] = parallel
+        doc["total_seconds_parallel"] = round(sum(parallel.values()), 3)
+    with open(out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {args.out} (total {doc['total_seconds']:.1f}s)")
+    print(f"wrote {out} (total {doc['total_seconds']:.1f}s)")
     return 0
 
 
@@ -234,13 +259,20 @@ def main(argv: Optional[list] = None) -> int:
     topo.add_argument("--spec", default="henri")
     bench = sub.add_parser(
         "bench", help="time the --fast experiment subset and write a "
-        "perf-baseline JSON (BENCH_pr3.json)")
-    bench.add_argument("--out", default="BENCH_pr3.json",
-                       help="output JSON path")
+        "perf-baseline JSON (BENCH_<tag>.json)")
+    bench.add_argument("--tag", default="pr4",
+                       help="baseline tag; names the output file and the "
+                       "'bench' field (default: pr4)")
+    bench.add_argument("--out", default=None,
+                       help="output JSON path (default: BENCH_<tag>.json)")
     bench.add_argument("--spec", default="henri")
     bench.add_argument("--experiments",
                        default=",".join(_BENCH_EXPERIMENTS),
                        help="comma-separated experiment names to time")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="also time the subset under a --jobs process "
+                       "pool and record both laps side by side "
+                       "(0 = cpu count)")
     summary = sub.add_parser(
         "trace-summary",
         help="validate + summarise a Chrome-tracing JSON (from --trace)")
@@ -253,6 +285,11 @@ def main(argv: Optional[list] = None) -> int:
                      help="cluster preset (henri/bora/billy/pyxis)")
     run.add_argument("--fast", action="store_true",
                      help="reduced sweeps, seconds per figure")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="fan sweep points out over N worker processes "
+                     "(0 = cpu count, default 1 = serial); seeded runs "
+                     "are byte-identical at any level — see "
+                     "docs/PARALLEL.md")
     run.add_argument("--out", default=None,
                      help="write a markdown record to this path")
     run.add_argument("--plot", action="store_true",
@@ -341,6 +378,9 @@ def main(argv: Optional[list] = None) -> int:
             from repro.core.campaign import CampaignJournal
             journal = stack.enter_context(
                 CampaignJournal(args.journal, resume=args.resume))
+        if args.jobs != 1:
+            from repro.core.executor import executor_context
+            stack.enter_context(executor_context(args.jobs))
         for name in names:
             t0 = time.time()
             if tele is not None:

@@ -15,18 +15,40 @@ campaign.  :class:`SweepGuard` wraps each point:
   bit-identically (Python's ``json`` round-trips floats exactly) and
   only failed/missing points are re-run.
 
+Two entry points coexist:
+
+* :meth:`SweepGuard.run_point` — the original closure-based boundary,
+  strictly serial (the body mutates the enclosing result in place);
+* :meth:`SweepGuard.run_specs` — the
+  :class:`~repro.core.executor.PointSpec` path: points are pure data,
+  execute through the ambient :class:`~repro.core.executor.SweepExecutor`
+  (possibly a process pool), and merge back in submission order, so
+  seeded runs are byte-identical at any ``--jobs`` level.  Journal
+  entries written this way carry a content fingerprint (``"fp"``) and
+  double as a point-level result cache: on resume a point replays only
+  while its parameters and the simulation code are unchanged.
+
 The journal is optional: with ``journal=None`` the guard still provides
-the error boundary, it just cannot resume.
+the error boundary, it just cannot resume.  Journal writes are
+crash-safe (flushed and fsynced per record) and the file is exclusively
+locked — a second concurrent writer is rejected rather than silently
+interleaving lines.  Under a process pool only the parent ever writes.
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.results import ExperimentResult
+
+try:                             # POSIX; journal locking degrades
+    import fcntl                 # gracefully where flock is missing.
+except ImportError:              # pragma: no cover - non-POSIX
+    fcntl = None
 
 __all__ = ["CampaignJournal", "SweepGuard"]
 
@@ -39,12 +61,19 @@ class CampaignJournal:
     Each line is one completed (or failed) sweep point::
 
         {"experiment": "fig1", "key": "core2.3_uncore2.4/size=4",
-         "status": "ok", "series": {"latency_...": [[x, med, p10, p90]]}}
+         "status": "ok", "series": {"latency_...": [[x, med, p10, p90]]},
+         "fp": "91be3a60c1f2d9e4"}
 
     With ``resume=False`` (the default) an existing file is truncated
     and the campaign starts fresh; with ``resume=True`` prior entries
     are loaded so :class:`SweepGuard` can replay ``ok`` points and
     re-run only the failed/missing ones.
+
+    Every record is flushed and fsynced before :meth:`record` returns:
+    a crash loses at most the in-flight point, never a journaled one.
+    The file is held under an exclusive ``flock`` for the journal's
+    lifetime, so two processes cannot corrupt one campaign file — with
+    ``--jobs`` parallelism all writes funnel through the parent.
     """
 
     def __init__(self, path, resume: bool = False):
@@ -57,6 +86,20 @@ class CampaignJournal:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a" if resume else "w",
                         encoding="utf-8")
+        self._lock()
+
+    def _lock(self) -> None:
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            return
+        try:
+            fcntl.flock(self._fh.fileno(),
+                        fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._fh.close()
+            self._fh = None
+            raise RuntimeError(
+                f"campaign journal {self.path} is locked by another "
+                f"process; refusing a second concurrent writer") from None
 
     def _load(self) -> None:
         with open(self.path, "r", encoding="utf-8") as fh:
@@ -83,7 +126,8 @@ class CampaignJournal:
     def record(self, experiment: str, key: str, status: str,
                series: Optional[dict] = None,
                failure: Optional[dict] = None,
-               metrics: Optional[dict] = None) -> None:
+               metrics: Optional[dict] = None,
+               fp: Optional[str] = None) -> None:
         entry: dict = {"experiment": experiment, "key": key,
                        "status": status}
         if series:
@@ -92,13 +136,16 @@ class CampaignJournal:
             entry["failure"] = failure
         if metrics:
             entry["metrics"] = metrics
+        if fp:
+            entry["fp"] = fp
         self._entries[(experiment, key)] = entry
         self._fh.write(json.dumps(entry) + "\n")
         self._fh.flush()
+        os.fsync(self._fh.fileno())
 
     def close(self) -> None:
         if self._fh is not None:
-            self._fh.close()
+            self._fh.close()          # closing releases the flock
             self._fh = None
 
     def __enter__(self) -> "CampaignJournal":
@@ -119,7 +166,7 @@ class SweepGuard:
         self.failed: List[str] = []
 
     def run_point(self, key: str, body: Callable[[], object]) -> str:
-        """Run one sweep point behind the boundary.
+        """Run one sweep point behind the boundary (serial, in place).
 
         Returns ``"replayed"`` (journal hit), ``"ok"`` (ran), or
         ``"failed"`` (recorded in ``result.failures``; series rolled
@@ -159,6 +206,87 @@ class SweepGuard:
                                 series=self._delta(snapshot),
                                 metrics=metrics)
         return "ok"
+
+    def run_specs(self, specs) -> Dict[str, str]:
+        """Run a whole sweep of :class:`~repro.core.executor.PointSpec`.
+
+        Points execute through the ambient executor (``--jobs`` process
+        pool, or in-process when none is installed) and merge back in
+        **submission order**: journal-cached points replay and fresh
+        results append exactly where a serial run would have put them,
+        so the resulting series, journal lines and telemetry are
+        byte-identical at any parallelism level.
+
+        Returns ``{key: "replayed" | "ok" | "failed"}`` and stores the
+        same tallies in ``result.meta["sweep"]``.
+        """
+        from repro.core.executor import (SweepExecutor, active_executor,
+                                         build_env, point_fingerprint)
+        result = self.result
+        statuses: Dict[str, str] = {}
+        # Decide replay-vs-run for every point up front, so the pending
+        # subset can be submitted to the pool in one batch while cached
+        # points still merge at their original sweep position.
+        plan: List[Tuple[object, str, Optional[dict]]] = []
+        n_pending = 0
+        for spec in specs:
+            fp = point_fingerprint(spec)
+            cached = None
+            if self.journal is not None and self.journal.resume:
+                entry = self.journal.lookup(result.name, spec.key)
+                # Entries without a fingerprint predate the cache
+                # (run_point journals); trust them like run_point does.
+                if entry is not None and entry["status"] == "ok" \
+                        and entry.get("fp", fp) == fp:
+                    cached = entry
+            plan.append((spec, fp, cached))
+            n_pending += cached is None
+        executor = active_executor()
+        if executor is None:
+            executor = SweepExecutor(jobs=1)
+        env = build_env() if n_pending else {}
+        entries = executor.map_points(
+            [(spec, env) for spec, _fp, cached in plan
+             if cached is None]) if n_pending else iter(())
+        from repro.obs.context import active_telemetry
+        tele = active_telemetry()
+        for spec, fp, cached in plan:
+            if cached is not None:
+                self._replay(cached)
+                self.replayed.append(spec.key)
+                statuses[spec.key] = "replayed"
+                continue
+            entry = next(entries)
+            # Fold the point's telemetry in before touching the journal
+            # so trace/metrics state is consistent at every record.
+            if tele is not None:
+                tele.absorb_point(entry.get("obs") or {},
+                                  entry.get("metrics"))
+            if entry["status"] == "ok":
+                self._replay(entry)
+                statuses[spec.key] = "ok"
+                if self.journal is not None:
+                    self.journal.record(result.name, spec.key, "ok",
+                                        series=entry.get("series"),
+                                        metrics=entry.get("metrics"),
+                                        fp=fp)
+            else:
+                failure = entry["failure"]
+                logger.warning("sweep point %s/%s failed: %s",
+                               result.name, spec.key,
+                               failure.get("message", failure.get("error")))
+                result.failures[spec.key] = failure
+                self.failed.append(spec.key)
+                statuses[spec.key] = "failed"
+                if self.journal is not None:
+                    self.journal.record(result.name, spec.key, "failed",
+                                        failure=failure, fp=fp)
+        result.meta["sweep"] = {
+            "points": len(plan),
+            "replayed": len(plan) - n_pending,
+            "failed": len([s for s in statuses.values() if s == "failed"]),
+        }
+        return statuses
 
     # -- internals ---------------------------------------------------------
     def _rollback(self, snapshot: Dict[str, int]) -> None:

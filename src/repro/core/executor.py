@@ -1,0 +1,363 @@
+"""Process-parallel sweep execution with deterministic delta-merge.
+
+A figure is a sweep of independent points — each builds its own
+cluster/simulator and shares no state — so the sweep is embarrassingly
+parallel.  What is *not* trivially parallel is reproducibility: seeded
+runs must produce byte-identical reports, journals and telemetry
+exports at any ``--jobs`` level.  This module gets there by
+construction rather than by accident:
+
+* every point is described by a picklable :class:`PointSpec` (runner
+  referenced by ``"module:function"`` name, plus plain parameters);
+* a point executes in :func:`_execute_point` — the *same* function
+  whether in-process (``jobs=1``) or in a pool worker — against a
+  fresh ambient fault context and a fresh per-point telemetry sink,
+  and returns a journal-shaped entry (series rows, metrics delta,
+  or a structured failure) plus a telemetry payload;
+* the parent merges entries in **submission order**, regardless of
+  worker completion order, through the same replay path the campaign
+  journal uses (:meth:`~repro.core.campaign.SweepGuard.run_specs`).
+
+Because ``jobs=1`` and ``jobs=N`` share every byte of the per-point
+code path — including the per-point-local metric accumulation, whose
+float additions would otherwise associate differently — their outputs
+are identical by construction, not merely close.
+
+The module also provides the content-addressed point cache:
+:func:`point_fingerprint` hashes the runner, the canonicalised
+parameters and the :func:`code_version`, so a resumed journal replays
+points only while both the parameters and the simulation code are
+unchanged.  The ambient fault plan is deliberately *excluded* from the
+fingerprint: resuming a faulted campaign without the fault must replay
+the completed points and re-run only the failed ones (see
+``tests/test_campaign.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+import logging
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Tuple)
+
+from repro.analysis.stats import summarize
+
+__all__ = [
+    "PointSpec", "SweepExecutor", "executor_context", "active_executor",
+    "stat_row", "value_row", "build_env", "code_version",
+    "point_fingerprint", "resolve_runner",
+]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class PointSpec:
+    """One sweep point, as pure picklable data.
+
+    ``runner`` names a module-level function (``"pkg.module:func"``)
+    taking the ``params`` dict and returning ``{series_key: [row, ...]}``
+    where each row is ``[x, median, p10, p90]`` — exactly the shape the
+    campaign journal stores and replays.
+    """
+
+    experiment: str
+    key: str
+    runner: str
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+# -- row helpers (runners build journal-shaped rows) ----------------------
+
+def stat_row(x: float, samples) -> List[float]:
+    """Row from raw samples — the counterpart of ``Series.add``."""
+    stats = summarize(samples)
+    return [float(x), stats.median, stats.p10, stats.p90]
+
+
+def value_row(x: float, value: float) -> List[float]:
+    """Row from one deterministic value (degenerate band)."""
+    v = float(value)
+    return [float(x), v, v, v]
+
+
+# -- content-addressed point cache ----------------------------------------
+
+# Presentation-only modules: they render results but cannot change what
+# a sweep point computes, so editing them must not invalidate caches.
+_NON_SEMANTIC = {
+    "cli.py", "core/report.py", "core/plotting.py", "core/record.py",
+    "obs/export.py",
+}
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Hash of the simulation sources (cache-busting token).
+
+    Overridable through ``REPRO_CODE_VERSION`` so tests (and users who
+    know a change is presentation-only) can pin it.
+    """
+    global _CODE_VERSION
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _CODE_VERSION is None:
+        root = Path(__file__).resolve().parent.parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root).as_posix()
+            if rel in _NON_SEMANTIC:
+                continue
+            digest.update(rel.encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+def _canon(value):
+    """Canonicalise a parameter value for hashing.
+
+    Callables hash by qualified name (their repr embeds a memory
+    address); dataclass-like objects fall back to ``repr``, which is
+    deterministic for frozen spec objects.
+    """
+    if callable(value):
+        module = getattr(value, "__module__", "?")
+        name = getattr(value, "__qualname__", None)
+        return f"{module}:{name}" if name else repr(value)
+    if isinstance(value, dict):
+        return {str(k): _canon(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canon(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def point_fingerprint(spec: PointSpec) -> str:
+    """Content hash of one point: runner + params + code version.
+
+    The ambient fault plan and seeds derived from it are deliberately
+    not part of the hash — resuming a campaign under a different (or
+    no) fault plan replays completed points (see module docstring).
+    """
+    blob = json.dumps(
+        {"runner": spec.runner, "key": spec.key,
+         "params": _canon(spec.params), "code": code_version()},
+        sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+# -- worker-side execution -------------------------------------------------
+
+def resolve_runner(ref: str) -> Callable[[dict], dict]:
+    """``"pkg.module:func"`` -> the function object."""
+    module, sep, name = ref.partition(":")
+    if not sep:
+        raise ValueError(f"runner reference {ref!r} is not 'module:func'")
+    return getattr(importlib.import_module(module), name)
+
+
+def _failure_entry(err: BaseException) -> dict:
+    """Structured failure matching ``ExperimentResult.record_failure``."""
+    entry: dict = {"error": type(err).__name__, "message": str(err)}
+    for attr in ("reason", "src", "dst", "retries", "timeouts"):
+        value = getattr(err, attr, None)
+        if value is not None:
+            entry[attr] = value
+    return entry
+
+
+def build_env() -> dict:
+    """Snapshot the ambient contexts a point must run under, as data.
+
+    Captured in the parent and re-installed around every point —
+    in-process and in pool workers alike — so both run against
+    identical, *fresh* fault and telemetry state.
+    """
+    env: dict = {}
+    from repro.faults.context import active_faults
+    installed = active_faults()
+    if installed is not None:
+        from dataclasses import asdict
+        env["fault_plan"] = installed.plan.to_dict()
+        rel = installed.reliability
+        env["reliability"] = asdict(rel) if rel is not None else None
+    from repro.obs.context import active_telemetry
+    tele = active_telemetry()
+    if tele is not None:
+        env["telemetry"] = {"trace": tele.tracer is not None,
+                            "metrics": tele.registry is not None,
+                            "run": tele.run_label}
+    return env
+
+
+def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
+    """Run one sweep point under its environment; never raises for a
+    point-level failure (returns a ``"failed"`` entry instead).
+
+    This is the single execution path for every ``--jobs`` level: a
+    fresh per-point telemetry sink collects the point's events and
+    metric deltas locally, so the parent-side merge is associativity-
+    safe (identical floats whether or not a pool is involved).
+    """
+    spec, env = task
+    from repro.faults.context import point_scope
+    entry: dict = {"key": spec.key}
+    with ExitStack() as stack:
+        fault_env = env.get("fault_plan")
+        if fault_env is not None:
+            from repro.faults import (FaultPlan, ReliabilityConfig,
+                                      fault_context)
+            rel_env = env.get("reliability")
+            reliability = ReliabilityConfig(**rel_env) \
+                if rel_env is not None else None
+            stack.enter_context(
+                fault_context(FaultPlan.from_dict(fault_env), reliability))
+        tele = None
+        tele_env = env.get("telemetry")
+        if tele_env is not None:
+            from repro.obs.telemetry import telemetry_context
+            tele = stack.enter_context(telemetry_context(
+                trace=tele_env["trace"], metrics=tele_env["metrics"]))
+            tele.set_run(tele_env["run"])
+        stack.enter_context(point_scope(spec.experiment, spec.key))
+        try:
+            rows = resolve_runner(spec.runner)(dict(spec.params))
+        except Exception as err:
+            entry["status"] = "failed"
+            entry["failure"] = _failure_entry(err)
+        else:
+            entry["status"] = "ok"
+            entry["series"] = rows
+        if tele is not None:
+            if tele.registry is not None:
+                entry["metrics"] = tele.registry.delta({})
+            entry["obs"] = tele.point_payload()
+    return entry
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: forked children inherit the parent's
+    ambient fault/telemetry stacks (with clusters bound to the parent's
+    sink); clear them so points install only what their env says."""
+    from repro.faults import context as fault_ctx
+    fault_ctx._STACK.clear()          # noqa: SLF001
+    fault_ctx._POINT_SCOPE.clear()    # noqa: SLF001
+    from repro.obs import context as obs_ctx
+    obs_ctx._STACK.clear()            # noqa: SLF001
+    obs_ctx._ACTIVE = None            # noqa: SLF001
+
+
+# -- the executor ----------------------------------------------------------
+
+class SweepExecutor:
+    """Maps points over a process pool, yielding in submission order.
+
+    ``jobs <= 1`` stays in-process (no pool, no pickling) but still
+    routes through :func:`_execute_point` — the serial path is the
+    parallel path with a pool of zero.  ``jobs == 0`` at construction
+    means "one per CPU".
+    """
+
+    def __init__(self, jobs: int = 1):
+        jobs = int(jobs)
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = max(1, jobs)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                ctx = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=ctx,
+                initializer=_worker_init)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- mapping -----------------------------------------------------------
+    def map_points(self, tasks: Iterable[Tuple[PointSpec, dict]]
+                   ) -> Iterator[dict]:
+        """Execute every ``(spec, env)`` task; yield entries in task
+        order.  A crashed worker process (as opposed to a point that
+        merely raised) surfaces as a ``RuntimeError``."""
+        tasks = list(tasks)
+        if self.jobs <= 1:
+            return (_execute_point(task) for task in tasks)
+        return self._map_parallel(tasks)
+
+    def _map_parallel(self, tasks: List[Tuple[PointSpec, dict]]
+                      ) -> Iterator[dict]:
+        pool = self._ensure_pool()
+        # chunksize=1: points are seconds-long simulations, so per-task
+        # dispatch overhead is noise and small chunks keep the pool
+        # balanced when point durations are skewed.
+        results = pool.map(_execute_point, tasks, chunksize=1)
+        while True:
+            try:
+                entry = next(results)
+            except StopIteration:
+                return
+            except BrokenProcessPool as err:
+                self.close()
+                keys = [spec.key for spec, _env in tasks]
+                raise RuntimeError(
+                    f"sweep worker process died while executing "
+                    f"{keys!r}; the sweep cannot be merged "
+                    f"deterministically — re-run (a campaign journal "
+                    f"resumes the completed points)") from err
+            yield entry
+
+
+# -- ambient executor context (mirrors faults/telemetry) -------------------
+
+_EXECUTORS: List[SweepExecutor] = []
+
+
+def active_executor() -> Optional[SweepExecutor]:
+    """The innermost installed executor, or ``None`` (= serial)."""
+    return _EXECUTORS[-1] if _EXECUTORS else None
+
+
+@contextmanager
+def executor_context(jobs: int):
+    """Install a :class:`SweepExecutor` for every sweep run inside the
+    ``with`` block (consumed by ``SweepGuard.run_specs``)."""
+    executor = SweepExecutor(jobs=jobs)
+    _EXECUTORS.append(executor)
+    try:
+        yield executor
+    finally:
+        if _EXECUTORS and _EXECUTORS[-1] is executor:
+            _EXECUTORS.pop()
+        elif executor in _EXECUTORS:  # pragma: no cover - unbalanced
+            _EXECUTORS.remove(executor)
+        executor.close()

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.analysis.fitting import crossover_index, detect_ridge
 from repro.core.campaign import CampaignJournal, SweepGuard
+from repro.core.executor import PointSpec, stat_row, value_row
 from repro.core.placement import (
     ALL_PLACEMENTS, Placement, comm_core_for, compute_core_ids,
     data_numa_for,
@@ -89,6 +90,21 @@ def default_size_sweep() -> List[int]:
 # §3.1  Figure 1 — constant frequencies
 # ---------------------------------------------------------------------------
 
+def _fig1_point(params: dict) -> dict:
+    """One (frequency corner, message size) ping-pong point."""
+    s = _spec(params["spec"])
+    size = params["size"]
+    cluster = Cluster(s, n_nodes=2)
+    world = CommWorld(cluster, comm_placement="near")
+    for m in cluster.machines:
+        m.freq.set_userspace(params["core_hz"])
+        m.set_uncore(params["uncore_hz"])
+    res = PingPong(world).run(size, reps=params["reps"])
+    corner = params["corner"]
+    return {f"latency_{corner}": [stat_row(size, res.latencies)],
+            f"bandwidth_{corner}": [stat_row(size, size / res.latencies)]}
+
+
 def fig1(spec: MachineSpec | str = "henri",
          sizes: Optional[Sequence[int]] = None,
          reps: int = 15,
@@ -98,7 +114,9 @@ def fig1(spec: MachineSpec | str = "henri",
     Each (corner, size) point runs behind a :class:`SweepGuard`: a point
     killed by fault injection is annotated in ``result.failures`` while
     the rest of the figure completes, and with a *journal* the sweep is
-    checkpointed/resumable point by point.
+    checkpointed/resumable point by point.  Points are independent
+    :class:`PointSpec` tasks, so ``--jobs`` fans them out over a
+    process pool with byte-identical results.
     """
     s = _spec(spec)
     if sizes is None:
@@ -114,26 +132,22 @@ def fig1(spec: MachineSpec | str = "henri",
         name="fig1", title="Impact of constant frequencies on network "
         "performance")
     guard = SweepGuard(result, journal)
+    specs: List[PointSpec] = []
     for core_hz, uncore_hz in corners:
         key = f"core{core_hz/1e9:.1f}_uncore{uncore_hz/1e9:.1f}"
-        lat = result.new_series(f"latency_{key}",
-                                xlabel="message size (B)",
-                                ylabel="latency (s)")
-        bw = result.new_series(f"bandwidth_{key}",
-                               xlabel="message size (B)",
-                               ylabel="bandwidth (B/s)")
+        result.new_series(f"latency_{key}",
+                          xlabel="message size (B)",
+                          ylabel="latency (s)")
+        result.new_series(f"bandwidth_{key}",
+                          xlabel="message size (B)",
+                          ylabel="bandwidth (B/s)")
         for size in sizes:
-            def point(core_hz=core_hz, uncore_hz=uncore_hz, size=size,
-                      lat=lat, bw=bw):
-                cluster = Cluster(s, n_nodes=2)
-                world = CommWorld(cluster, comm_placement="near")
-                for m in cluster.machines:
-                    m.freq.set_userspace(core_hz)
-                    m.set_uncore(uncore_hz)
-                res = PingPong(world).run(size, reps=reps)
-                lat.add(size, res.latencies)
-                bw.add(size, size / res.latencies)
-            guard.run_point(f"{key}/size={size}", point)
+            specs.append(PointSpec(
+                experiment="fig1", key=f"{key}/size={size}",
+                runner="repro.core.experiments:_fig1_point",
+                params=dict(spec=spec, corner=key, core_hz=core_hz,
+                            uncore_hz=uncore_hz, size=size, reps=reps)))
+    guard.run_specs(specs)
 
     # Headline observations (paper: 1.8 µs vs 3.1 µs; ~10.5 vs 10.1 GB/s).
     # The paper's fig-1a latency anchors correspond to the idle-machine
@@ -294,39 +308,53 @@ def fig2(spec: MachineSpec | str = "henri", n_compute: int = 20,
 # §3.3  Figure 3 — AVX-512 computations
 # ---------------------------------------------------------------------------
 
+def _fig3a_point(params: dict) -> dict:
+    """One AVX weak-scaling point (duration + latency, alone/together)."""
+    n = params["n"]
+    cfg = SideBySideConfig(
+        spec=params["spec"], n_compute_cores=n, kernel_factory=avx_kernel,
+        message_size=LATENCY_SIZE, reps=params["reps"], sweeps=1)
+    out = run_duration_protocol(cfg)
+    rows = {
+        "compute_alone": [value_row(n, out.compute_alone_duration)],
+        "compute_together": [value_row(n, out.compute_together_duration)],
+        "latency_alone": [stat_row(n, out.comm_alone.latencies)],
+    }
+    if out.comm_together is not None:
+        rows["latency_together"] = [stat_row(n, out.comm_together.latencies)]
+    return rows
+
+
 def fig3a(spec: MachineSpec | str = "henri",
           core_counts: Sequence[int] = (2, 4, 8, 12, 16, 20),
-          reps: int = 12) -> ExperimentResult:
+          reps: int = 12,
+          journal: Optional[CampaignJournal] = None) -> ExperimentResult:
     """AVX weak scaling: compute duration and latency, alone/together."""
     result = ExperimentResult(
         name="fig3a", title="Impact of AVX512 computations on network "
         "latency")
+    guard = SweepGuard(result, journal)
     dur_alone = result.new_series("compute_alone",
                                   xlabel="computing cores",
                                   ylabel="duration (s)")
-    dur_tog = result.new_series("compute_together",
-                                xlabel="computing cores",
-                                ylabel="duration (s)")
-    lat_alone = result.new_series("latency_alone",
-                                  xlabel="computing cores",
-                                  ylabel="latency (s)")
-    lat_tog = result.new_series("latency_together",
-                                xlabel="computing cores",
-                                ylabel="latency (s)")
-    for n in core_counts:
-        cfg = SideBySideConfig(
-            spec=spec, n_compute_cores=n, kernel_factory=avx_kernel,
-            message_size=LATENCY_SIZE, reps=reps, sweeps=1)
-        out = run_duration_protocol(cfg)
-        dur_alone.add_value(n, out.compute_alone_duration)
-        dur_tog.add_value(n, out.compute_together_duration)
-        lat_alone.add(n, out.comm_alone.latencies)
-        if out.comm_together is not None:
-            lat_tog.add(n, out.comm_together.latencies)
-    result.observe("duration_4_cores_s",
-                   dur_alone.at(4) if 4 in core_counts else None)
-    result.observe("duration_20_cores_s",
-                   dur_alone.at(20) if 20 in core_counts else None)
+    result.new_series("compute_together", xlabel="computing cores",
+                      ylabel="duration (s)")
+    result.new_series("latency_alone", xlabel="computing cores",
+                      ylabel="latency (s)")
+    result.new_series("latency_together", xlabel="computing cores",
+                      ylabel="latency (s)")
+    guard.run_specs([
+        PointSpec(experiment="fig3a", key=f"n={n}",
+                  runner="repro.core.experiments:_fig3a_point",
+                  params=dict(spec=spec, n=n, reps=reps))
+        for n in core_counts])
+
+    def observations():
+        result.observe("duration_4_cores_s",
+                       dur_alone.at(4) if 4 in core_counts else None)
+        result.observe("duration_20_cores_s",
+                       dur_alone.at(20) if 20 in core_counts else None)
+    _guarded_observations(result, observations)
     return result
 
 
@@ -394,6 +422,27 @@ def fig3bc(spec: MachineSpec | str = "henri", n_compute: int = 4,
 # §4  Figures 4-7 — memory contention
 # ---------------------------------------------------------------------------
 
+def _contention_point(params: dict) -> dict:
+    """One core-count point of a fig4/fig5 contention sweep."""
+    n = params["n"]
+    cfg = SideBySideConfig(
+        spec=params["spec"], n_compute_cores=n,
+        placement=params["placement"],
+        kernel_factory=params["kernel_factory"],
+        message_size=params["message_size"], reps=params["reps"])
+    out = run_throughput_protocol(cfg)
+    rows = {"comm_alone": [stat_row(n, out.comm_alone.latencies)]}
+    if out.comm_together is not None:
+        rows["comm_together"] = [stat_row(n, out.comm_together.latencies)]
+    else:
+        rows["comm_together"] = [stat_row(n, out.comm_alone.latencies)]
+    if out.compute_alone_bw_per_core:
+        rows["compute_alone"] = [stat_row(n, out.compute_alone_bw_per_core)]
+        rows["compute_together"] = [
+            stat_row(n, out.compute_together_bw_per_core)]
+    return rows
+
+
 def _contention_sweep(name: str, title: str, message_size: int,
                       placement: Placement,
                       spec: MachineSpec | str = "henri",
@@ -413,27 +462,17 @@ def _contention_sweep(name: str, title: str, message_size: int,
                                   ylabel="latency (s)")
     lat_tog = result.new_series("comm_together", xlabel="computing cores",
                                 ylabel="latency (s)")
-    st_alone = result.new_series("compute_alone", xlabel="computing cores",
-                                 ylabel="bytes/s per core")
-    st_tog = result.new_series("compute_together",
-                               xlabel="computing cores",
-                               ylabel="bytes/s per core")
-    for n in core_counts:
-        def point(n=n):
-            cfg = SideBySideConfig(
-                spec=spec, n_compute_cores=n, placement=placement,
-                kernel_factory=kernel_factory, message_size=message_size,
-                reps=reps)
-            out = run_throughput_protocol(cfg)
-            lat_alone.add(n, out.comm_alone.latencies)
-            if out.comm_together is not None:
-                lat_tog.add(n, out.comm_together.latencies)
-            else:
-                lat_tog.add(n, out.comm_alone.latencies)
-            if out.compute_alone_bw_per_core:
-                st_alone.add(n, out.compute_alone_bw_per_core)
-                st_tog.add(n, out.compute_together_bw_per_core)
-        guard.run_point(f"n={n}", point)
+    result.new_series("compute_alone", xlabel="computing cores",
+                      ylabel="bytes/s per core")
+    result.new_series("compute_together", xlabel="computing cores",
+                      ylabel="bytes/s per core")
+    guard.run_specs([
+        PointSpec(experiment=name, key=f"n={n}",
+                  runner="repro.core.experiments:_contention_point",
+                  params=dict(spec=spec, n=n, placement=placement,
+                              kernel_factory=kernel_factory,
+                              message_size=message_size, reps=reps))
+        for n in core_counts])
 
     # Derived observations.
     def observations():
@@ -547,6 +586,24 @@ def table1(spec: MachineSpec | str = "henri",
     return result
 
 
+def _size_point(params: dict) -> dict:
+    """One message-size point of a fig6 sweep."""
+    size = params["size"]
+    cfg = SideBySideConfig(
+        spec=params["spec"], n_compute_cores=params["n_compute"],
+        placement=Placement("near", "far"), message_size=size,
+        reps=params["reps"])
+    out = run_throughput_protocol(cfg)
+    return {
+        "comm_alone": [stat_row(size, size / out.comm_alone.latencies)],
+        "comm_together": [
+            stat_row(size, size / out.comm_together.latencies)],
+        "compute_alone": [stat_row(size, out.compute_alone_bw_per_core)],
+        "compute_together": [
+            stat_row(size, out.compute_together_bw_per_core)],
+    }
+
+
 def _size_experiment(name: str, n_compute: int,
                      spec: MachineSpec | str = "henri",
                      sizes: Optional[Sequence[int]] = None,
@@ -571,18 +628,12 @@ def _size_experiment(name: str, n_compute: int,
     st_tog = result.new_series("compute_together",
                                xlabel="message size (B)",
                                ylabel="bytes/s per core")
-    for size in sizes:
-        def point(size=size):
-            cfg = SideBySideConfig(
-                spec=spec, n_compute_cores=n_compute,
-                placement=Placement("near", "far"), message_size=size,
-                reps=reps)
-            out = run_throughput_protocol(cfg)
-            comm_alone.add(size, size / out.comm_alone.latencies)
-            comm_tog.add(size, size / out.comm_together.latencies)
-            st_alone.add(size, out.compute_alone_bw_per_core)
-            st_tog.add(size, out.compute_together_bw_per_core)
-        guard.run_point(f"size={size}", point)
+    guard.run_specs([
+        PointSpec(experiment=name, key=f"size={size}",
+                  runner="repro.core.experiments:_size_point",
+                  params=dict(spec=spec, n_compute=n_compute, size=size,
+                              reps=reps))
+        for size in sizes])
 
     # Thresholds (paper: comms degrade from 64 KB @5 cores / 128 B @35;
     # STREAM from 4 KB in both).
@@ -613,6 +664,37 @@ def fig6b(spec: MachineSpec | str = "henri", n_compute: Optional[int] = None,
     return _size_experiment("fig6b", n_compute, spec, **kw)
 
 
+def _intensity_point(params: dict) -> dict:
+    """One arithmetic-intensity point of a fig7 sweep.
+
+    The tunable-triad kernel factory closes over the cursor *inside*
+    the runner (a lambda cannot cross a process boundary; the cursor
+    and element count can).
+    """
+    cursor = params["cursor"]
+    elems = params["elems"]
+    intensity = intensity_of_cursor(cursor)
+    cfg = SideBySideConfig(
+        spec=params["spec"], n_compute_cores=params["n_compute"],
+        placement=Placement("near", "far"),
+        kernel_factory=lambda: tunable_triad(cursor, elems=elems),
+        message_size=params["message_size"], reps=params["reps"],
+        sweeps=params["sweeps"], warmup_reps=params["warmup_reps"])
+    out = run_duration_protocol(cfg)
+    rows = {"comm_alone": [stat_row(intensity, out.comm_alone.latencies)]}
+    if out.comm_together is not None and len(out.comm_together.latencies):
+        rows["comm_together"] = [
+            stat_row(intensity, out.comm_together.latencies)]
+    else:
+        rows["comm_together"] = [
+            stat_row(intensity, out.comm_alone.latencies)]
+    rows["compute_alone"] = [
+        value_row(intensity, out.compute_alone_duration)]
+    rows["compute_together"] = [
+        value_row(intensity, out.compute_together_duration)]
+    return rows
+
+
 def _intensity_experiment(name: str, message_size: int,
                           spec: MachineSpec | str = "henri",
                           cursors: Optional[Sequence[int]] = None,
@@ -620,7 +702,9 @@ def _intensity_experiment(name: str, message_size: int,
                           reps: int = 10,
                           elems: int = 2_000_000,
                           sweeps: int = 1,
-                          warmup_reps: int = 1) -> ExperimentResult:
+                          warmup_reps: int = 1,
+                          journal: Optional[CampaignJournal] = None,
+                          ) -> ExperimentResult:
     """Fig 7 driver: sweep arithmetic intensity via the cursor."""
     s = _spec(spec)
     if cursors is None:
@@ -630,42 +714,38 @@ def _intensity_experiment(name: str, message_size: int,
     result = ExperimentResult(
         name=name, title="Impact of memory pressure (tunable arithmetic "
         "intensity)")
+    guard = SweepGuard(result, journal)
     comm_alone = result.new_series("comm_alone",
                                    xlabel="arithmetic intensity (flop/B)",
                                    ylabel="latency (s)")
     comm_tog = result.new_series("comm_together",
                                  xlabel="arithmetic intensity (flop/B)",
                                  ylabel="latency (s)")
-    dur_alone = result.new_series("compute_alone",
-                                  xlabel="arithmetic intensity (flop/B)",
-                                  ylabel="duration (s)")
-    dur_tog = result.new_series("compute_together",
-                                xlabel="arithmetic intensity (flop/B)",
-                                ylabel="duration (s)")
-    for cursor in cursors:
-        intensity = intensity_of_cursor(cursor)
-        cfg = SideBySideConfig(
-            spec=spec, n_compute_cores=n_compute,
-            placement=Placement("near", "far"),
-            kernel_factory=lambda c=cursor: tunable_triad(c, elems=elems),
-            message_size=message_size, reps=reps, sweeps=sweeps,
-            warmup_reps=warmup_reps)
-        out = run_duration_protocol(cfg)
-        comm_alone.add(intensity, out.comm_alone.latencies)
-        if out.comm_together is not None and len(out.comm_together.latencies):
-            comm_tog.add(intensity, out.comm_together.latencies)
-        else:
-            comm_tog.add(intensity, out.comm_alone.latencies)
-        dur_alone.add_value(intensity, out.compute_alone_duration)
-        dur_tog.add_value(intensity, out.compute_together_duration)
+    result.new_series("compute_alone",
+                      xlabel="arithmetic intensity (flop/B)",
+                      ylabel="duration (s)")
+    result.new_series("compute_together",
+                      xlabel="arithmetic intensity (flop/B)",
+                      ylabel="duration (s)")
+    guard.run_specs([
+        PointSpec(experiment=name, key=f"cursor={cursor}",
+                  runner="repro.core.experiments:_intensity_point",
+                  params=dict(spec=spec, cursor=cursor, elems=elems,
+                              n_compute=n_compute,
+                              message_size=message_size, reps=reps,
+                              sweeps=sweeps, warmup_reps=warmup_reps))
+        for cursor in cursors])
+
     # Ridge: intensity where communication recovers its nominal value.
-    if message_size > 1024:
-        values = [message_size / m for m in comm_tog.median]
-    else:
-        nominal = comm_alone.median[0]
-        values = [nominal / m for m in comm_tog.median]  # 1 when recovered
-    result.observe("ridge_flop_per_byte",
-                    detect_ridge(comm_tog.x, values))
+    def observations():
+        if message_size > 1024:
+            values = [message_size / m for m in comm_tog.median]
+        else:
+            nominal = comm_alone.median[0]
+            values = [nominal / m for m in comm_tog.median]
+        result.observe("ridge_flop_per_byte",
+                       detect_ridge(comm_tog.x, values))
+    _guarded_observations(result, observations)
     return result
 
 
@@ -792,43 +872,62 @@ def fig8(spec: MachineSpec | str = "henri",
     return result
 
 
-def fig9(spec: MachineSpec | str = "henri",
-         sizes: Optional[Sequence[int]] = None,
-         backoffs: Sequence[object] = (2, 32, 10000, "paused"),
-         reps: int = 12) -> ExperimentResult:
-    """§5.4: impact of worker polling on runtime latency."""
+def _fig9_point(params: dict) -> dict:
+    """One (backoff, size) point of the polling-interference sweep."""
     from repro.runtime.mpi_layer import RuntimeComm
     from repro.runtime.runtime import RuntimeSystem
     from repro.runtime.scheduler import PollingSpec
 
-    s = _spec(spec)
+    backoff = params["backoff"]
+    if backoff == "paused":
+        polling = PollingSpec(paused=True)
+    else:
+        polling = PollingSpec(backoff_max_nops=int(backoff))
+    size = params["size"]
+    s = _spec(params["spec"])
+    cluster = Cluster(s, n_nodes=2)
+    world = CommWorld(cluster, comm_placement="far")
+    runtimes = {r: RuntimeSystem(world, r, polling=polling)
+                for r in (0, 1)}
+    comm = RuntimeComm(world, runtimes)
+    for rt in runtimes.values():
+        rt.start()
+    numa = cluster.machine(0).nic_numa.id
+    lats = _runtime_pingpong(world, comm, size, params["reps"],
+                             numa, numa)
+    for rt in runtimes.values():
+        rt.shutdown()
+    return {params["series"]: [stat_row(size, lats)]}
+
+
+def fig9(spec: MachineSpec | str = "henri",
+         sizes: Optional[Sequence[int]] = None,
+         backoffs: Sequence[object] = (2, 32, 10000, "paused"),
+         reps: int = 12,
+         journal: Optional[CampaignJournal] = None) -> ExperimentResult:
+    """§5.4: impact of worker polling on runtime latency."""
     if sizes is None:
         sizes = [4, 64, 1024, 16384]
     result = ExperimentResult(
         name="fig9", title="Impact of polling workers on network latency")
+    guard = SweepGuard(result, journal)
+    keys = []
     for backoff in backoffs:
-        if backoff == "paused":
-            polling = PollingSpec(paused=True)
-            key = "paused"
-        else:
-            polling = PollingSpec(backoff_max_nops=int(backoff))
-            key = f"backoff_{backoff}"
-        series = result.new_series(key, xlabel="message size (B)",
-                                   ylabel="latency (s)")
-        for size in sizes:
-            cluster = Cluster(s, n_nodes=2)
-            world = CommWorld(cluster, comm_placement="far")
-            runtimes = {r: RuntimeSystem(world, r, polling=polling)
-                        for r in (0, 1)}
-            comm = RuntimeComm(world, runtimes)
-            for rt in runtimes.values():
-                rt.start()
-            numa = cluster.machine(0).nic_numa.id
-            lats = _runtime_pingpong(world, comm, size, reps, numa, numa)
-            for rt in runtimes.values():
-                rt.shutdown()
-            series.add(size, lats)
-        result.observe(f"{key}_latency_4B_s", series.at(4))
+        key = "paused" if backoff == "paused" else f"backoff_{backoff}"
+        keys.append((backoff, key))
+        result.new_series(key, xlabel="message size (B)",
+                          ylabel="latency (s)")
+    guard.run_specs([
+        PointSpec(experiment="fig9", key=f"{key}/size={size}",
+                  runner="repro.core.experiments:_fig9_point",
+                  params=dict(spec=spec, backoff=backoff, series=key,
+                              size=size, reps=reps))
+        for backoff, key in keys for size in sizes])
+
+    def observations():
+        for _backoff, key in keys:
+            result.observe(f"{key}_latency_4B_s", result[key].at(4))
+    _guarded_observations(result, observations)
     return result
 
 
@@ -836,48 +935,65 @@ def fig9(spec: MachineSpec | str = "henri",
 # §6  Figure 10 — CG and GEMM
 # ---------------------------------------------------------------------------
 
+def _fig10_point(params: dict) -> dict:
+    """One worker-count point: CG and GEMM at ``nw`` workers."""
+    from repro.runtime.apps import run_cg, run_gemm
+
+    spec = params["spec"]
+    nw = params["nw"]
+    cg = run_cg(spec=spec, n_workers=nw, **params["cg_kwargs"])
+    gm = run_gemm(spec=spec, n_workers=nw, **params["gemm_kwargs"])
+    return {
+        "cg_sending_bw": [value_row(nw, cg.sending_bandwidth)],
+        "cg_stall_fraction": [value_row(nw, cg.stall_fraction)],
+        "gemm_sending_bw": [value_row(nw, gm.sending_bandwidth)],
+        "gemm_stall_fraction": [value_row(nw, gm.stall_fraction)],
+    }
+
+
 def fig10(spec: MachineSpec | str = "henri",
           worker_counts: Sequence[int] = (1, 2, 4, 8, 16, 24, 30, 34),
           cg_kwargs: Optional[dict] = None,
-          gemm_kwargs: Optional[dict] = None) -> ExperimentResult:
+          gemm_kwargs: Optional[dict] = None,
+          journal: Optional[CampaignJournal] = None) -> ExperimentResult:
     """§6: normalized sending bandwidth + memory stalls vs worker count."""
-    from repro.runtime.apps import run_cg, run_gemm
-
     cg_kwargs = dict(cg_kwargs or {})
     gemm_kwargs = dict(gemm_kwargs or {})
     result = ExperimentResult(
         name="fig10",
         title="Network performance and memory stalls of CG and GEMM")
-    cg_bw = result.new_series("cg_sending_bw", xlabel="workers",
-                              ylabel="bytes/s")
+    guard = SweepGuard(result, journal)
     cg_stall = result.new_series("cg_stall_fraction", xlabel="workers",
                                  ylabel="fraction")
-    gm_bw = result.new_series("gemm_sending_bw", xlabel="workers",
-                              ylabel="bytes/s")
     gm_stall = result.new_series("gemm_stall_fraction", xlabel="workers",
                                  ylabel="fraction")
+    result.new_series("cg_sending_bw", xlabel="workers", ylabel="bytes/s")
+    result.new_series("gemm_sending_bw", xlabel="workers",
+                      ylabel="bytes/s")
     s = _spec(spec)
     max_workers = s.n_cores - 2
-    for nw in worker_counts:
-        nw = min(nw, max_workers)
-        cg = run_cg(spec=spec, n_workers=nw, **cg_kwargs)
-        cg_bw.add_value(nw, cg.sending_bandwidth)
-        cg_stall.add_value(nw, cg.stall_fraction)
-        gm = run_gemm(spec=spec, n_workers=nw, **gemm_kwargs)
-        gm_bw.add_value(nw, gm.sending_bandwidth)
-        gm_stall.add_value(nw, gm.stall_fraction)
+    guard.run_specs([
+        PointSpec(experiment="fig10", key=f"workers={nw}",
+                  runner="repro.core.experiments:_fig10_point",
+                  params=dict(spec=spec, nw=nw, cg_kwargs=cg_kwargs,
+                              gemm_kwargs=gemm_kwargs))
+        for nw in dict.fromkeys(min(n, max_workers)
+                                for n in worker_counts)])
+
     # Normalized views + headline numbers.
-    for key in ("cg_sending_bw", "gemm_sending_bw"):
-        raw = result.series[key]
-        norm = result.new_series(key + "_norm", xlabel="workers",
-                                 ylabel="normalized")
-        peak = max(raw.median)
-        for x, v in zip(raw.x, raw.median):
-            norm.add_value(x, v / peak if peak > 0 else 0.0)
-    result.observe("cg_bw_loss",
-                   1.0 - result["cg_sending_bw_norm"].median[-1])
-    result.observe("gemm_bw_loss",
-                   1.0 - result["gemm_sending_bw_norm"].median[-1])
-    result.observe("cg_stall_max", max(cg_stall.median))
-    result.observe("gemm_stall_max", max(gm_stall.median))
+    def observations():
+        for key in ("cg_sending_bw", "gemm_sending_bw"):
+            raw = result.series[key]
+            norm = result.new_series(key + "_norm", xlabel="workers",
+                                     ylabel="normalized")
+            peak = max(raw.median)
+            for x, v in zip(raw.x, raw.median):
+                norm.add_value(x, v / peak if peak > 0 else 0.0)
+        result.observe("cg_bw_loss",
+                       1.0 - result["cg_sending_bw_norm"].median[-1])
+        result.observe("gemm_bw_loss",
+                       1.0 - result["gemm_sending_bw_norm"].median[-1])
+        result.observe("cg_stall_max", max(cg_stall.median))
+        result.observe("gemm_stall_max", max(gm_stall.median))
+    _guarded_observations(result, observations)
     return result

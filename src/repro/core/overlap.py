@@ -27,6 +27,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from repro.core.campaign import CampaignJournal, SweepGuard
+from repro.core.executor import PointSpec, value_row
+from repro.core.experiments import _guarded_observations
 from repro.core.placement import Placement, compute_core_ids, data_numa_for
 from repro.core.results import ExperimentResult
 from repro.core.sidebyside import SideBySideConfig, build_world
@@ -139,28 +142,44 @@ def measure_overlap(message_size: int, n_compute_cores: int = 8,
                          t_overlap=t_overlap)
 
 
+def _overlap_point(params: dict) -> dict:
+    """One message size of the overlap sweep (runs in a worker)."""
+    cursor = params["cursor"]
+    size = params["size"]
+    res = measure_overlap(
+        size, n_compute_cores=params["n_compute_cores"],
+        kernel_factory=lambda: tunable_triad(cursor, elems=2_000_000),
+        spec=params["spec"])
+    return {"overlap_ratio": [value_row(size, res.overlap_ratio)],
+            "slowdown_vs_ideal": [value_row(size, res.slowdown)]}
+
+
 def overlap_experiment(sizes: Optional[Sequence[int]] = None,
                        n_compute_cores: int = 8,
                        cursor: int = 1,
-                       spec="henri") -> ExperimentResult:
+                       spec="henri",
+                       journal: Optional[CampaignJournal] = None,
+                       ) -> ExperimentResult:
     """Overlap ratio across message sizes (one row of the [7] matrix)."""
     if sizes is None:
         sizes = [4096, 65536, 1 << 20, 8 << 20, 64 << 20]
     result = ExperimentResult(
         name="overlap",
         title="Communication/computation overlap efficiency")
+    guard = SweepGuard(result, journal)
     ratio = result.new_series("overlap_ratio", xlabel="message size (B)",
                               ylabel="ratio")
     slow = result.new_series("slowdown_vs_ideal",
                              xlabel="message size (B)", ylabel="x")
-    for size in sizes:
-        res = measure_overlap(
-            size, n_compute_cores=n_compute_cores,
-            kernel_factory=lambda: tunable_triad(cursor,
-                                                 elems=2_000_000),
-            spec=spec)
-        ratio.add_value(size, res.overlap_ratio)
-        slow.add_value(size, res.slowdown)
-    result.observe("min_overlap_ratio", min(ratio.median))
-    result.observe("max_slowdown", max(slow.median))
+    guard.run_specs([
+        PointSpec(experiment="overlap", key=f"size={size}",
+                  runner="repro.core.overlap:_overlap_point",
+                  params=dict(spec=spec, size=size, cursor=cursor,
+                              n_compute_cores=n_compute_cores))
+        for size in sizes])
+
+    def observations():
+        result.observe("min_overlap_ratio", min(ratio.median))
+        result.observe("max_slowdown", max(slow.median))
+    _guarded_observations(result, observations)
     return result

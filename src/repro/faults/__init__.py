@@ -29,8 +29,8 @@ Usage::
 """
 
 from repro.faults.context import (
-    InstalledFaults, active_faults, clear_faults, fault_context,
-    install_faults,
+    InstalledFaults, active_faults, active_point_scope, clear_faults,
+    derive_point_seed, fault_context, install_faults, point_scope,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
@@ -46,4 +46,5 @@ __all__ = [
     "FaultInjector",
     "InstalledFaults", "install_faults", "clear_faults", "active_faults",
     "fault_context",
+    "derive_point_seed", "point_scope", "active_point_scope",
 ]

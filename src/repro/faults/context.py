@@ -13,12 +13,14 @@ topology module can depend on it without a cycle.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 __all__ = ["InstalledFaults", "install_faults", "clear_faults",
-           "active_faults", "fault_context"]
+           "active_faults", "fault_context",
+           "derive_point_seed", "point_scope", "active_point_scope"]
 
 
 @dataclass(frozen=True)
@@ -61,3 +63,49 @@ def fault_context(plan, reliability=None):
             _STACK.pop()
         elif installed in _STACK:  # pragma: no cover - unbalanced nesting
             _STACK.remove(installed)
+
+
+# ---------------------------------------------------------------------------
+# Per-point seed derivation
+# ---------------------------------------------------------------------------
+#
+# A parallel sweep executes points in arbitrary wall-clock order, so any
+# seed that depends on *when* a point runs breaks --jobs determinism.
+# Instead every sweep point announces itself through ``point_scope`` and
+# the fault injector derives its RNG seed as a pure function of
+# (campaign seed, experiment, point key): identical at --jobs 1 and
+# --jobs 8, and stable across resumes.
+
+_POINT_SCOPE: List[Tuple[str, str]] = []
+
+
+def derive_point_seed(campaign_seed: int, experiment: str,
+                      key: str) -> int:
+    """Stable 64-bit seed for one sweep point.
+
+    Pure function of its arguments (blake2b over the identity triple),
+    so the seed never depends on execution or submission order.
+    """
+    digest = hashlib.blake2b(
+        f"{int(campaign_seed)}:{experiment}:{key}".encode(),
+        digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@contextmanager
+def point_scope(experiment: str, key: str):
+    """Mark the current sweep point (consumed by the fault injector)."""
+    scope = (experiment, key)
+    _POINT_SCOPE.append(scope)
+    try:
+        yield scope
+    finally:
+        if _POINT_SCOPE and _POINT_SCOPE[-1] is scope:
+            _POINT_SCOPE.pop()
+        elif scope in _POINT_SCOPE:  # pragma: no cover - unbalanced
+            _POINT_SCOPE.remove(scope)
+
+
+def active_point_scope() -> Optional[Tuple[str, str]]:
+    """The innermost ``(experiment, key)`` point scope, or ``None``."""
+    return _POINT_SCOPE[-1] if _POINT_SCOPE else None

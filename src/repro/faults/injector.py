@@ -36,7 +36,17 @@ class FaultInjector:
         self.plan = plan
         self.reliability = reliability if reliability is not None \
             else ReliabilityConfig()
-        self._rng = RandomStreams(plan.seed).stream("loss")
+        # Inside a sweep point the RNG seed is a pure function of
+        # (campaign seed, experiment, point key) — see
+        # repro.faults.context.derive_point_seed — so seeded campaigns
+        # inject identical faults at any --jobs level.  Outside a point
+        # scope (bare clusters, unit tests) the plan seed is used as is.
+        from repro.faults.context import active_point_scope, \
+            derive_point_seed
+        scope = active_point_scope()
+        seed = plan.seed if scope is None \
+            else derive_point_seed(plan.seed, *scope)
+        self._rng = RandomStreams(seed).stream("loss")
         self._dead: Set[int] = set()
         self._lat_factor: Dict[Tuple[int, int], float] = {}
         self._loss_windows: List[MessageLoss] = []

@@ -20,7 +20,7 @@ import json
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "metric_key"]
+           "metric_key", "parse_metric_key"]
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
@@ -31,6 +31,23 @@ def metric_key(name: str, labels: LabelItems) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> Tuple[str, LabelItems]:
+    """Inverse of :func:`metric_key`: ``"n{k=v}"`` → ``("n", (("k","v"),))``.
+
+    Label values are plain identifiers/numbers throughout the stack (no
+    commas or braces), so a straight split is exact.
+    """
+    name, brace, rest = key.partition("{")
+    if not brace:
+        return key, ()
+    inner = rest.rstrip("}")
+    items = []
+    for part in inner.split(","):
+        k, _, v = part.partition("=")
+        items.append((k, v))
+    return name, tuple(items)
 
 
 class Counter:
@@ -192,6 +209,41 @@ class MetricsRegistry:
             else:  # gauge
                 out[key] = entry
         return out
+
+    def merge_delta(self, delta: Mapping[str, object]) -> None:
+        """Fold a per-point :meth:`delta` (possibly from another process)
+        into this registry.
+
+        The parallel sweep executor runs each point against a fresh
+        worker-side registry and ships the point's delta back; merging
+        the deltas in submission order reconstructs the registry a
+        serial run would have accumulated.  Counters and histogram
+        sums/counts/buckets add; gauges take the delta's (current)
+        value, i.e. last-merge-wins — the same as last-write-wins in a
+        serial run.
+        """
+        for key, entry in delta.items():
+            name, labels = parse_metric_key(key)
+            kwargs = dict(labels)
+            kind = entry["type"]
+            value = entry["value"]
+            if kind == "counter":
+                self.counter(name, **kwargs).inc(value)
+            elif kind == "gauge":
+                self.gauge(name, **kwargs).set(value)
+            elif kind == "histogram":
+                hist = self.histogram(name, **kwargs)
+                buckets = value["buckets"]
+                if len(buckets) != len(hist.counts):
+                    raise ValueError(
+                        f"histogram {key!r} bucket layout mismatch "
+                        f"({len(buckets)} vs {len(hist.counts)})")
+                hist.sum += value["sum"]
+                hist.count += value["count"]
+                for i, n in enumerate(buckets):
+                    hist.counts[i] += n
+            else:  # pragma: no cover - future instrument kinds
+                raise ValueError(f"unknown metric type {kind!r}")
 
     # -- export -------------------------------------------------------------
     def to_json(self, extra: Optional[Mapping[str, object]] = None,

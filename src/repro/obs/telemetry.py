@@ -314,6 +314,46 @@ class Telemetry:
                            f"{action} {kind}", cluster.sim.now,
                            cat="fault")
 
+    # -- parallel sweep support ----------------------------------------------
+    def point_payload(self) -> dict:
+        """Everything a per-point telemetry sink collected, as plain data.
+
+        A sweep-executor worker runs each point against a *fresh*
+        Telemetry (pid blocks start at 0) and ships this payload back;
+        the parent folds it in with :meth:`absorb_point` in submission
+        order, reconstructing exactly what a serial run against one
+        shared sink would have recorded.
+        """
+        return {
+            "n_clusters": self._n_clusters,
+            "events": list(self.tracer._events)  # noqa: SLF001
+            if self.tracer is not None else None,
+            "transfers": list(self.transfers),
+        }
+
+    def absorb_point(self, payload: dict,
+                     metrics: Optional[dict] = None) -> None:
+        """Fold one point's :meth:`point_payload` (+ metrics delta) in.
+
+        Trace-event pids are shifted by the clusters already registered
+        here, so the point's pid blocks land exactly where a serial run
+        would have allocated them; the internal cluster counter advances
+        by the point's cluster count to keep later allocations aligned.
+        """
+        offset = _PID_BLOCK * self._n_clusters
+        events = payload.get("events")
+        if self.tracer is not None and events:
+            shifted = []
+            for event in events:
+                event = dict(event)
+                event["pid"] = event["pid"] + offset
+                shifted.append(event)
+            self.tracer._events.extend(shifted)  # noqa: SLF001
+        self.transfers.extend(payload.get("transfers") or ())
+        if metrics and self.registry is not None:
+            self.registry.merge_delta(metrics)
+        self._n_clusters += payload.get("n_clusters", 0)
+
     # -- reports / export ----------------------------------------------------
     def attribution(self, run: Optional[str] = None,
                     n_bins: int = 5) -> dict:

@@ -76,9 +76,27 @@ def test_bench_command(capsys, tmp_path):
     assert main(["bench", "--experiments", "fig9", "--out",
                  str(out)]) == 0
     doc = json.loads(out.read_text())
-    assert doc["bench"] == "pr3"
+    assert doc["bench"] == "pr4"
+    assert doc["host_cpus"] >= 1
     assert doc["seconds"]["fig9"] > 0
     assert doc["total_seconds"] >= doc["seconds"]["fig9"]
+
+
+def test_bench_tag_names_output(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["bench", "--experiments", "fig9", "--tag", "smoke"]) == 0
+    doc = json.loads((tmp_path / "BENCH_smoke.json").read_text())
+    assert doc["bench"] == "smoke"
+
+
+def test_bench_jobs_records_both_laps(capsys, tmp_path):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--experiments", "fig9", "--jobs", "2",
+                 "--out", str(out)]) == 0
+    doc = json.loads(out.read_text())
+    assert doc["jobs"] == 2
+    assert doc["seconds_parallel"]["fig9"] > 0
+    assert set(doc["seconds_parallel"]) == set(doc["seconds"])
 
 
 def test_log_level_flag(capsys):
