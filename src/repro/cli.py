@@ -2,13 +2,20 @@
 
 Usage::
 
-    python -m repro list
+    python -m repro list [--long]
     python -m repro run fig4a [--spec henri] [--fast]
     python -m repro run all --fast --out EXPERIMENTS_RUN.md
+    python -m repro run --scenario examples/scenario_fig1a_loss.toml
 
 ``--fast`` substitutes reduced sweep parameters (fewer repetitions and
 points) so every figure finishes in seconds; omit it to regenerate the
 full figures.
+
+Every experiment — name, ``--fast`` profile, capabilities, rendering —
+comes from :mod:`repro.core.registry`; this module only parses flags
+and wires execution contexts (faults, telemetry, journaling, process
+pools) around registry dispatch.  Custom parameter/fault/output
+combinations live in scenario TOML files (docs/SCENARIOS.md).
 """
 
 from __future__ import annotations
@@ -18,103 +25,13 @@ import json
 import logging
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional
 
-from repro.core import experiments as E
-from repro.core.report import render_experiment, write_experiments_md
+from repro.core import registry
+from repro.core.registry import run_experiment
+from repro.core.report import write_experiments_md
 
-__all__ = ["main", "EXPERIMENTS", "run_experiment"]
-
-# Experiments timed by `repro bench` (fast mode): one per modelled layer
-# — raw latency sweep, frequency effects, runtime overhead, NUMA
-# placement, polling contention, and the fig-10 worker sweep.
-_BENCH_EXPERIMENTS = ("fig1a", "fig2", "runtime_overhead", "fig8",
-                      "fig9", "fig10")
-
-# Reduced parameter sets for --fast mode.
-_FAST_KWARGS: Dict[str, dict] = {
-    "fig1": dict(sizes=[4, 65536, 67108864], reps=6),
-    "fig1a": dict(sizes=[4, 65536, 67108864], reps=6),
-    "fig1b": dict(sizes=[4, 65536, 67108864], reps=6),
-    "fig2": dict(phase_seconds=0.04),
-    "fig3a": dict(core_counts=(4, 20), reps=5),
-    "fig3bc": dict(phase_seconds=0.05),
-    "fig4a": dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=6),
-    "fig4b": dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=4),
-    "fig5": dict(core_counts=[0, 5, 20, 35], reps=4),
-    "table1": dict(core_counts=[0, 5, 20, 35], reps=4),
-    "fig6a": dict(sizes=[4, 1024, 4096, 65536, 1048576, 67108864], reps=4),
-    "fig6b": dict(sizes=[4, 128, 1024, 4096, 65536, 1048576, 67108864],
-                  reps=4),
-    "fig7a": dict(cursors=[1, 8, 24, 48, 72, 96, 144, 480], reps=4,
-                  elems=1_000_000),
-    "fig7b": dict(cursors=[1, 8, 24, 72, 144, 480], reps=3,
-                  elems=2_000_000, sweeps=3),
-    "runtime_overhead": dict(reps=10),
-    "fig8": dict(reps=10),
-    "fig9": dict(sizes=[4, 1024], reps=8),
-    "fig10": dict(worker_counts=(1, 8, 16, 24, 34)),
-    "overlap": dict(sizes=[65536, 1 << 20, 16 << 20], n_compute_cores=6),
-    "multipair": dict(pair_counts=[1, 2, 4], sizes=[4, 16 << 20], reps=4),
-    "gpu_vs_network": dict(reps=6, chunk=8 << 20),
-    "gpu_vs_stream": dict(core_counts=[0, 4, 12], copies_per_point=4),
-}
-
-def _overlap(spec="henri", **kwargs):
-    from repro.core.overlap import overlap_experiment
-    return overlap_experiment(spec=spec, **kwargs)
-
-
-def _multipair(spec="henri", **kwargs):
-    from repro.core.multipair import multipair_experiment
-    return multipair_experiment(spec=spec, **kwargs)
-
-
-def _gpu_network(spec="henri", **kwargs):
-    from repro.core.gpu_experiments import gpu_vs_network
-    return gpu_vs_network(spec=spec, **kwargs)
-
-
-def _gpu_stream(spec="henri", **kwargs):
-    from repro.core.gpu_experiments import gpu_vs_stream
-    return gpu_vs_stream(spec=spec, **kwargs)
-
-
-EXPERIMENTS: Dict[str, Callable] = {
-    "fig1a": E.fig1a, "fig1b": E.fig1b, "fig2": E.fig2,
-    "fig3a": E.fig3a, "fig3bc": E.fig3bc,
-    "fig4a": E.fig4a, "fig4b": E.fig4b,
-    "table1": E.table1,
-    "fig6a": E.fig6a, "fig6b": E.fig6b,
-    "fig7a": E.fig7a, "fig7b": E.fig7b,
-    "runtime_overhead": E.runtime_overhead,
-    "fig8": E.fig8, "fig9": E.fig9, "fig10": E.fig10,
-    # Extensions beyond the paper's figures:
-    "overlap": _overlap,
-    "multipair": _multipair,
-    "gpu_vs_network": _gpu_network,
-    "gpu_vs_stream": _gpu_stream,
-}
-
-
-# Experiments whose sweeps are checkpointable through a CampaignJournal
-# (and, equivalently, parallelisable with --jobs: both ride on PointSpec
-# sweeps — see docs/PARALLEL.md).
-_JOURNAL_CAPABLE = {"fig1", "fig1a", "fig1b", "fig3a", "fig4a", "fig4b",
-                    "fig5", "fig6a", "fig6b", "fig7a", "fig7b", "fig9",
-                    "fig10", "overlap"}
-
-
-def run_experiment(name: str, spec: str = "henri", fast: bool = False,
-                   journal=None):
-    """Run one named experiment; returns its result object."""
-    kwargs = dict(_FAST_KWARGS.get(name, {})) if fast else {}
-    if journal is not None and name in _JOURNAL_CAPABLE:
-        kwargs["journal"] = journal
-    if name == "fig5":
-        return E.fig5(spec=spec, **kwargs)
-    func = EXPERIMENTS[name]
-    return func(spec=spec, **kwargs)
+__all__ = ["main", "run_experiment"]
 
 
 def _build_fault_plan(args):
@@ -172,19 +89,35 @@ def _bench_lap(names, spec: str, jobs: int) -> Dict[str, float]:
     return seconds
 
 
+def _bench_tag(args) -> Optional[str]:
+    """The baseline tag: explicit --tag, else derived from --out."""
+    if args.tag:
+        return args.tag
+    if args.out:
+        import os
+        stem = os.path.splitext(os.path.basename(args.out))[0]
+        return stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    return None
+
+
 def _bench(args) -> int:
     """Timed --fast experiment subset: the repo's perf trajectory."""
     names = [n.strip() for n in args.experiments.split(",") if n.strip()]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    unknown = [n for n in names if n not in registry.names()]
     if unknown:
         print(f"unknown bench experiment(s): {unknown}", file=sys.stderr)
         return 2
+    tag = _bench_tag(args)
+    if tag is None:
+        print("bench needs a baseline tag: pass --tag, or --out to "
+              "derive one from the filename", file=sys.stderr)
+        return 2
     import os
     import platform
-    out = args.out if args.out else f"BENCH_{args.tag}.json"
+    out = args.out if args.out else f"BENCH_{tag}.json"
     seconds = _bench_lap(names, args.spec, jobs=1)
     doc = {
-        "bench": args.tag,
+        "bench": tag,
         "mode": "fast",
         "spec": args.spec,
         "python": platform.python_version(),
@@ -226,20 +159,48 @@ def _trace_summary(args) -> int:
     return 0
 
 
-def _render(name: str, result) -> str:
-    if name == "fig5":
-        return "\n".join(render_experiment(r) for r in result.values())
-    if name == "table1":
-        from repro.core.report import render_table
-        rows = [[r["data"], r["comm_thread"],
-                 f'{r["latency_impact_from_cores"]}',
-                 f'{r["latency_max_ratio"]:.2f}x',
-                 f'{r["bandwidth_min_ratio"]:.2f}']
-                for r in result.meta["rows"]]
-        return render_table(
-            ["data", "comm thread", "lat. impact from cores",
-             "lat. max ratio", "bw min ratio"], rows)
-    return render_experiment(result)
+def _apply_scenario(args, parser):
+    """Load --scenario and fold it into *args* (CLI flags win).
+
+    Returns the :class:`~repro.core.scenario.Scenario` (or None), with
+    ``args`` fully resolved either way.
+    """
+    if not args.scenario:
+        if not args.experiment:
+            parser.error("an experiment name (or 'all') or --scenario "
+                         "is required")
+        args.spec = args.spec or "henri"
+        args.jobs = 1 if args.jobs is None else args.jobs
+        return None
+
+    from repro.core.scenario import ScenarioError, load_scenario
+    if args.experiment:
+        parser.error("give either an experiment name or --scenario, "
+                     "not both")
+    try:
+        scenario = load_scenario(args.scenario)
+    except ScenarioError as err:
+        parser.error(str(err))
+
+    args.experiment = scenario.experiment
+    args.spec = args.spec or scenario.spec
+    args.fast = args.fast or scenario.fast
+    if args.jobs is None:
+        args.jobs = scenario.jobs if scenario.jobs is not None else 1
+    args.out = args.out or scenario.report
+    args.plot = args.plot or scenario.plot
+    args.trace = args.trace or scenario.trace
+    args.metrics = args.metrics or scenario.metrics
+    args.fault = args.fault or list(scenario.fault_specs)
+    if args.fault_seed is None:
+        args.fault_seed = scenario.fault_seed
+    if args.timeout is None:
+        args.timeout = scenario.timeout
+    if args.max_retries is None:
+        args.max_retries = scenario.max_retries
+    args.journal = args.journal or scenario.journal
+    args.resume = args.resume or scenario.resume
+    return scenario
 
 
 def main(argv: Optional[list] = None) -> int:
@@ -253,22 +214,25 @@ def main(argv: Optional[list] = None) -> int:
                         help="stderr logging level (module loggers: "
                         "faults, transport, campaigns)")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list available experiments")
+    lst = sub.add_parser("list", help="list available experiments")
+    lst.add_argument("--long", action="store_true",
+                     help="one line per experiment with kind, "
+                     "capabilities and title")
     topo = sub.add_parser("topology",
                           help="print a cluster preset's topology")
     topo.add_argument("--spec", default="henri")
     bench = sub.add_parser(
         "bench", help="time the --fast experiment subset and write a "
         "perf-baseline JSON (BENCH_<tag>.json)")
-    bench.add_argument("--tag", default="pr4",
+    bench.add_argument("--tag", default=None,
                        help="baseline tag; names the output file and the "
-                       "'bench' field (default: pr4)")
+                       "'bench' field (derived from --out when omitted)")
     bench.add_argument("--out", default=None,
                        help="output JSON path (default: BENCH_<tag>.json)")
     bench.add_argument("--spec", default="henri")
-    bench.add_argument("--experiments",
-                       default=",".join(_BENCH_EXPERIMENTS),
-                       help="comma-separated experiment names to time")
+    bench.add_argument("--experiments", default=None,
+                       help="comma-separated experiment names to time "
+                       "(default: the registry's bench subset)")
     bench.add_argument("--jobs", type=int, default=1,
                        help="also time the subset under a --jobs process "
                        "pool and record both laps side by side "
@@ -278,14 +242,19 @@ def main(argv: Optional[list] = None) -> int:
         help="validate + summarise a Chrome-tracing JSON (from --trace)")
     summary.add_argument("path", help="trace JSON file")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment",
-                     help="experiment name (fig1a..fig10, table1, fig5, "
-                     "runtime_overhead) or 'all'")
-    run.add_argument("--spec", default="henri",
+    run.add_argument("experiment", nargs="?", default=None,
+                     help="experiment name (see `repro list`) or 'all'; "
+                     "omit when using --scenario")
+    run.add_argument("--scenario", default=None, metavar="TOML",
+                     help="run a scenario file: base experiment + "
+                     "parameter overrides + fault plan + outputs "
+                     "(docs/SCENARIOS.md); other flags override the "
+                     "file's values")
+    run.add_argument("--spec", default=None,
                      help="cluster preset (henri/bora/billy/pyxis)")
     run.add_argument("--fast", action="store_true",
                      help="reduced sweeps, seconds per figure")
-    run.add_argument("--jobs", type=int, default=1,
+    run.add_argument("--jobs", type=int, default=None,
                      help="fan sweep points out over N worker processes "
                      "(0 = cpu count, default 1 = serial); seeded runs "
                      "are byte-identical at any level — see "
@@ -331,14 +300,15 @@ def main(argv: Optional[list] = None) -> int:
     _setup_logging(args.log_level)
 
     if args.command == "bench":
+        if args.experiments is None:
+            args.experiments = ",".join(registry.bench_names())
         return _bench(args)
 
     if args.command == "trace-summary":
         return _trace_summary(args)
 
     if args.command == "list":
-        for name in list(EXPERIMENTS) + ["fig5"]:
-            print(name)
+        print(registry.render_listing(long=args.long))
         return 0
 
     if args.command == "topology":
@@ -348,12 +318,14 @@ def main(argv: Optional[list] = None) -> int:
         print(render_topology(cluster.machine(0)))
         return 0
 
-    names = (list(EXPERIMENTS) + ["fig5"]) if args.experiment == "all" \
+    scenario = _apply_scenario(args, parser)
+    names = registry.names(in_all=True) if args.experiment == "all" \
         else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS and n != "fig5"]
-    if unknown:
-        parser.error(f"unknown experiment(s): {unknown}; "
-                     f"try: {sorted(EXPERIMENTS)}")
+    if args.experiment != "all":
+        try:
+            registry.get(args.experiment)
+        except registry.UnknownExperimentError as err:
+            parser.error(str(err))
 
     if args.resume and not args.journal:
         parser.error("--resume requires --journal")
@@ -382,14 +354,15 @@ def main(argv: Optional[list] = None) -> int:
             from repro.core.executor import executor_context
             stack.enter_context(executor_context(args.jobs))
         for name in names:
+            defn = registry.get(name)
             t0 = time.time()
             if tele is not None:
                 tele.set_run(name)
-            result = run_experiment(name, spec=args.spec, fast=args.fast,
-                                    journal=journal)
-            text = _render(name, result)
-            if getattr(args, "plot", False) \
-                    and name not in ("fig5", "table1"):
+            overrides = scenario.params if scenario is not None else None
+            result = defn.run(spec=args.spec, fast=args.fast,
+                              journal=journal, overrides=overrides)
+            text = defn.render(result)
+            if getattr(args, "plot", False) and defn.plot_capable:
                 from repro.core.plotting import plot_experiment
                 text += "\n" + plot_experiment(result)
             sections[name] = text

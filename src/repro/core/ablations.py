@@ -29,6 +29,7 @@ import dataclasses
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core import experiments as E
+from repro.core.registry import experiment
 from repro.core.results import ExperimentResult
 from repro.hardware.presets import ContentionSpec, MachineSpec, get_preset
 
@@ -182,3 +183,143 @@ ALL_ABLATIONS = {
     "no_stack_stall": ablate_stack_stall,
     "no_scheduler_locality": ablate_scheduler_locality,
 }
+
+
+# ---------------------------------------------------------------------------
+# Registered wrapper experiments
+# ---------------------------------------------------------------------------
+# Each ablation above returns raw pairs/dicts; the wrappers below fold
+# them into a single ExperimentResult (baseline_* / ablated_* series plus
+# delta observations) so ablations run, render and scenario-compose like
+# any other experiment.  They carry the ``ablation`` tag and stay out of
+# ``repro run all``.
+
+def _combined(name: str, title: str, baseline: ExperimentResult,
+              ablated: ExperimentResult) -> ExperimentResult:
+    """Merge a (baseline, ablated) result pair into one comparable result."""
+    result = ExperimentResult(name=name, title=title)
+    for variant, res in (("baseline", baseline), ("ablated", ablated)):
+        for key, s in res.series.items():
+            dst = result.new_series(f"{variant}_{key}",
+                                    xlabel=s.xlabel, ylabel=s.ylabel)
+            dst.x = list(s.x)
+            dst.median = list(s.median)
+            dst.p10 = list(s.p10)
+            dst.p90 = list(s.p90)
+        for key, value in res.observations.items():
+            result.observe(f"{variant}_{key}", value)
+        result.failures.update(res.failures)
+    return result
+
+
+def _require_henri(name: str, spec: MachineSpec | str) -> None:
+    """The runtime ablations drive run_cg/run_gemm on henri only."""
+    if not (spec == "henri" or
+            (isinstance(spec, MachineSpec) and spec.name == "henri")):
+        raise ValueError(f"ablation {name!r} only models the henri "
+                         f"machine (got spec={spec!r})")
+
+
+@experiment(name="no_pio_colocation",
+            title="Ablation: PIO co-location penalty off (Figure 4a)",
+            tags=("ablation", "contention"), in_all=False, plot=False,
+            fast=dict(core_counts=[0, 12, 20, 35], reps=3))
+def no_pio_colocation_experiment(spec: MachineSpec | str = "henri",
+                                 core_counts: Optional[Sequence[int]] = None,
+                                 reps: int = 6) -> ExperimentResult:
+    """Figure 4a's latency doubling with the PIO penalty zeroed."""
+    baseline, ablated = ablate_pio_colocation(spec=spec,
+                                              core_counts=core_counts,
+                                              reps=reps)
+    return _combined("no_pio_colocation",
+                     "Ablation: PIO co-location penalty off (Figure 4a)",
+                     baseline, ablated)
+
+
+@experiment(name="no_dma_derating",
+            title="Ablation: DMA latency de-rating off (Figure 4b)",
+            tags=("ablation", "contention"), in_all=False, plot=False,
+            fast=dict(core_counts=[0, 12, 20, 35], reps=3))
+def no_dma_derating_experiment(spec: MachineSpec | str = "henri",
+                               core_counts: Optional[Sequence[int]] = None,
+                               reps: int = 4) -> ExperimentResult:
+    """Figure 4b's early bandwidth onset with DMA de-rating disabled."""
+    baseline, ablated = ablate_dma_derating(spec=spec,
+                                            core_counts=core_counts,
+                                            reps=reps)
+    return _combined("no_dma_derating",
+                     "Ablation: DMA latency de-rating off (Figure 4b)",
+                     baseline, ablated)
+
+
+@experiment(name="no_dma_priority",
+            title="Ablation: NIC DMA priority off (Figure 4b)",
+            tags=("ablation", "contention"), in_all=False, plot=False,
+            fast=dict(core_counts=[0, 12, 20, 35], reps=3))
+def no_dma_priority_experiment(spec: MachineSpec | str = "henri",
+                               core_counts: Optional[Sequence[int]] = None,
+                               reps: int = 4) -> ExperimentResult:
+    """Figure 4b's asymptote with the NIC arbitrating like a core."""
+    baseline, ablated = ablate_dma_priority(spec=spec,
+                                            core_counts=core_counts,
+                                            reps=reps)
+    return _combined("no_dma_priority",
+                     "Ablation: NIC DMA priority off (Figure 4b)",
+                     baseline, ablated)
+
+
+@experiment(name="no_stack_stall",
+            title="Ablation: runtime stack stalling off (CG, §6)",
+            tags=("ablation", "runtime"), in_all=False, plot=False,
+            fast=dict(worker_counts=(1, 16), n=30_000, iterations=2))
+def no_stack_stall_experiment(spec: MachineSpec | str = "henri",
+                              worker_counts: Sequence[int] = (1, 16, 34),
+                              n: int = 120_000,
+                              iterations: int = 3) -> ExperimentResult:
+    """CG's sending-bandwidth collapse with stack stalling disabled."""
+    _require_henri("no_stack_stall", spec)
+    out = ablate_stack_stall(worker_counts=worker_counts,
+                             cg_kwargs=dict(n=n, iterations=iterations))
+    result = ExperimentResult(
+        name="no_stack_stall",
+        title="Ablation: runtime stack stalling off (CG, §6)")
+    for variant in ("baseline", "ablated"):
+        bw = result.new_series(f"{variant}_sending_bw", xlabel="workers",
+                               ylabel="bytes/s")
+        for nw, cg in out[variant].items():
+            bw.add_value(nw, cg.sending_bandwidth)
+    base = result["baseline_sending_bw"]
+    abl = result["ablated_sending_bw"]
+    result.observe("baseline_bw_retained", min(base.median) / max(base.median))
+    result.observe("ablated_bw_retained", min(abl.median) / max(abl.median))
+    return result
+
+
+@experiment(name="no_scheduler_locality",
+            title="Ablation: locality-blind task scheduler (GEMM, §6)",
+            tags=("ablation", "runtime"), in_all=False, plot=False,
+            fast=dict(n_workers=8, n=1024))
+def no_scheduler_locality_experiment(spec: MachineSpec | str = "henri",
+                                     n_workers: int = 34,
+                                     n: int = 4096,
+                                     tile: int = 128) -> ExperimentResult:
+    """GEMM memory stalls with the locality-aware scheduler blinded."""
+    _require_henri("no_scheduler_locality", spec)
+    out = ablate_scheduler_locality(n_workers=n_workers,
+                                    gemm_kwargs=dict(n=n, tile=tile))
+    result = ExperimentResult(
+        name="no_scheduler_locality",
+        title="Ablation: locality-blind task scheduler (GEMM, §6)")
+    stalls = result.new_series("stall_fraction", xlabel="variant",
+                               ylabel="fraction")
+    duration = result.new_series("duration", xlabel="variant", ylabel="s")
+    for i, variant in enumerate(("baseline", "ablated")):
+        gemm = out[variant]
+        stalls.add_value(i, gemm.stall_fraction)
+        duration.add_value(i, gemm.duration)
+        result.observe(f"{variant}_stall_fraction", gemm.stall_fraction)
+        result.observe(f"{variant}_duration", gemm.duration)
+    if out["baseline"].duration > 0:
+        result.observe("slowdown",
+                       out["ablated"].duration / out["baseline"].duration)
+    return result

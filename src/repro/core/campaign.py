@@ -28,6 +28,10 @@ Two entry points coexist:
   double as a point-level result cache: on resume a point replays only
   while its parameters and the simulation code are unchanged.
 
+Whether a given experiment supports journaling (equivalently ``--jobs``)
+is a derived capability on its registry entry — see
+``ExperimentDef.journal_capable`` in :mod:`repro.core.registry`.
+
 The journal is optional: with ``journal=None`` the guard still provides
 the error boundary, it just cannot resume.  Journal writes are
 crash-safe (flushed and fsynced per record) and the file is exclusively

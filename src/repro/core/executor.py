@@ -95,7 +95,7 @@ def value_row(x: float, value: float) -> List[float]:
 # a sweep point computes, so editing them must not invalidate caches.
 _NON_SEMANTIC = {
     "cli.py", "core/report.py", "core/plotting.py", "core/record.py",
-    "obs/export.py",
+    "core/registry.py", "core/scenario.py", "obs/export.py",
 }
 
 _CODE_VERSION: Optional[str] = None

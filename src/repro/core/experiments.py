@@ -22,6 +22,11 @@ fig8      runtime latency vs data/thread NUMA placement
 fig9      runtime latency vs worker-polling backoff
 fig10     CG vs GEMM: sending bandwidth + memory stalls vs workers
 ========  ==========================================================
+
+Each public entry point registers itself in
+:mod:`repro.core.registry` via the :func:`~repro.core.registry.experiment`
+decorator — the registry (not this docstring or the CLI) is the single
+source of truth for names, ``--fast`` profiles, and capabilities.
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.core.placement import (
     ALL_PLACEMENTS, Placement, comm_core_for, compute_core_ids,
     data_numa_for,
 )
+from repro.core.registry import experiment
 from repro.core.results import ExperimentResult, Series
 from repro.core.sidebyside import (
     SideBySideConfig, build_world, run_duration_protocol,
@@ -182,13 +188,25 @@ def _guarded_observations(result: ExperimentResult,
         body()
 
 
+@experiment(title="Constant frequencies vs latency",
+            tags=("paper", "frequency"), bench=True,
+            params=("sizes", "reps"),
+            fast=dict(sizes=[4, 65536, 67108864], reps=6))
 def fig1a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
+    """Ping-pong latency at each pinned core frequency (the fig1 sweep
+    relabelled to its latency half)."""
     res = fig1(spec, **kw)
     res.name, res.title = "fig1a", "Constant frequencies vs latency"
     return res
 
 
+@experiment(title="Constant frequencies vs bandwidth",
+            tags=("paper", "frequency"),
+            params=("sizes", "reps"),
+            fast=dict(sizes=[4, 65536, 67108864], reps=6))
 def fig1b(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
+    """Ping-pong bandwidth at each pinned core frequency (the fig1
+    sweep relabelled to its bandwidth half)."""
     res = fig1(spec, **kw)
     res.name, res.title = "fig1b", "Constant frequencies vs bandwidth"
     return res
@@ -198,6 +216,9 @@ def fig1b(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
 # §3.2  Figure 2 — frequency traces with CPU-bound computation
 # ---------------------------------------------------------------------------
 
+@experiment(title="Frequency traces: comm only / idle / comm + compute",
+            tags=("paper", "frequency"), bench=True,
+            fast=dict(phase_seconds=0.04))
 def fig2(spec: MachineSpec | str = "henri", n_compute: int = 20,
          phase_seconds: float = 0.12, sample_period: float = 2e-3,
          reps_hint: int = 0) -> ExperimentResult:
@@ -325,6 +346,9 @@ def _fig3a_point(params: dict) -> dict:
     return rows
 
 
+@experiment(title="AVX512 compute duration & latency vs computing cores",
+            tags=("paper", "frequency"),
+            fast=dict(core_counts=(4, 20), reps=5))
 def fig3a(spec: MachineSpec | str = "henri",
           core_counts: Sequence[int] = (2, 4, 8, 12, 16, 20),
           reps: int = 12,
@@ -358,6 +382,9 @@ def fig3a(spec: MachineSpec | str = "henri",
     return result
 
 
+@experiment(title="Frequency traces under AVX load",
+            tags=("paper", "frequency"), index_key="fig3b/c",
+            fast=dict(phase_seconds=0.05))
 def fig3bc(spec: MachineSpec | str = "henri", n_compute: int = 4,
            phase_seconds: float = 0.2,
            sample_period: float = 2e-3) -> ExperimentResult:
@@ -489,6 +516,10 @@ def _contention_sweep(name: str, title: str, message_size: int,
     return result
 
 
+@experiment(title="Memory-bound computations vs network latency",
+            tags=("paper", "contention"),
+            params=("core_counts", "reps"),
+            fast=dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=6))
 def fig4a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     """Latency under STREAM contention (data near NIC, thread far)."""
     return _contention_sweep(
@@ -496,6 +527,10 @@ def fig4a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
         LATENCY_SIZE, Placement("near", "far"), spec, **kw)
 
 
+@experiment(title="Memory-bound computations vs network bandwidth",
+            tags=("paper", "contention"),
+            params=("core_counts", "reps"),
+            fast=dict(core_counts=[0, 3, 5, 12, 20, 26, 31, 35], reps=4))
 def fig4b(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     """Bandwidth under STREAM contention (data near NIC, thread far)."""
     res = _contention_sweep(
@@ -524,6 +559,10 @@ def fig4b(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     return res
 
 
+@experiment(title="All placement combinations × {latency, bandwidth}",
+            tags=("paper", "contention"), multi_result=True, plot=False,
+            index_key="fig5a–f", params=("core_counts", "reps"),
+            fast=dict(core_counts=[0, 5, 20, 35], reps=4))
 def fig5(spec: MachineSpec | str = "henri",
          placements: Iterable[Placement] = ALL_PLACEMENTS,
          **kw) -> Dict[str, ExperimentResult]:
@@ -550,6 +589,10 @@ def fig5(spec: MachineSpec | str = "henri",
     return results
 
 
+@experiment(title="Placement impact summary (paper Table 1)",
+            tags=("paper", "contention"), plot=False,
+            renderer="repro.core.report:render_table1",
+            fast=dict(core_counts=[0, 5, 20, 35], reps=4))
 def table1(spec: MachineSpec | str = "henri",
            core_counts: Optional[Sequence[int]] = None,
            reps: int = 8) -> ExperimentResult:
@@ -651,11 +694,21 @@ def _size_experiment(name: str, n_compute: int,
     return result
 
 
+@experiment(title="Message-size sweep at 5 computing cores",
+            tags=("paper", "contention"),
+            params=("sizes", "reps"),
+            fast=dict(sizes=[4, 1024, 4096, 65536, 1048576, 67108864],
+                      reps=4))
 def fig6a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     """Message-size sweep with 5 computing cores."""
     return _size_experiment("fig6a", 5, spec, **kw)
 
 
+@experiment(title="Message-size sweep at 35 computing cores",
+            tags=("paper", "contention"),
+            params=("sizes", "reps"),
+            fast=dict(sizes=[4, 128, 1024, 4096, 65536, 1048576,
+                             67108864], reps=4))
 def fig6b(spec: MachineSpec | str = "henri", n_compute: Optional[int] = None,
           **kw) -> ExperimentResult:
     """Message-size sweep with (almost) all cores computing."""
@@ -749,6 +802,12 @@ def _intensity_experiment(name: str, message_size: int,
     return result
 
 
+@experiment(title="Arithmetic-intensity sweep vs latency",
+            tags=("paper", "contention"),
+            params=("cursors", "n_compute", "reps", "elems", "sweeps",
+                    "warmup_reps"),
+            fast=dict(cursors=[1, 8, 24, 48, 72, 96, 144, 480], reps=4,
+                      elems=1_000_000))
 def fig7a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     """Intensity sweep vs latency."""
     res = _intensity_experiment("fig7a", LATENCY_SIZE, spec, **kw)
@@ -756,6 +815,12 @@ def fig7a(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     return res
 
 
+@experiment(title="Arithmetic-intensity sweep vs bandwidth",
+            tags=("paper", "contention"),
+            params=("cursors", "n_compute", "reps", "elems", "sweeps",
+                    "warmup_reps"),
+            fast=dict(cursors=[1, 8, 24, 72, 144, 480], reps=3,
+                      elems=2_000_000, sweeps=3))
 def fig7b(spec: MachineSpec | str = "henri", **kw) -> ExperimentResult:
     """Intensity sweep vs bandwidth.
 
@@ -812,6 +877,9 @@ def _runtime_pingpong(world: CommWorld, comm, size: int, reps: int,
     return np.asarray(lats)
 
 
+@experiment(title="Task-runtime latency overhead (§5.2)",
+            tags=("paper", "runtime"), bench=True, index_key="§5.2",
+            fast=dict(reps=10))
 def runtime_overhead(spec: MachineSpec | str = "henri",
                      reps: int = 20) -> ExperimentResult:
     """§5.2: latency of a runtime-level ping-pong vs plain MPI."""
@@ -843,6 +911,9 @@ def runtime_overhead(spec: MachineSpec | str = "henri",
     return result
 
 
+@experiment(title="Runtime latency vs data/thread NUMA placement",
+            tags=("paper", "runtime"), bench=True,
+            fast=dict(reps=10))
 def fig8(spec: MachineSpec | str = "henri",
          reps: int = 15) -> ExperimentResult:
     """§5.3: runtime latency vs data locality × comm-thread placement."""
@@ -900,6 +971,9 @@ def _fig9_point(params: dict) -> dict:
     return {params["series"]: [stat_row(size, lats)]}
 
 
+@experiment(title="Runtime latency vs worker-polling backoff",
+            tags=("paper", "runtime"), bench=True,
+            fast=dict(sizes=[4, 1024], reps=8))
 def fig9(spec: MachineSpec | str = "henri",
          sizes: Optional[Sequence[int]] = None,
          backoffs: Sequence[object] = (2, 32, 10000, "paused"),
@@ -951,6 +1025,9 @@ def _fig10_point(params: dict) -> dict:
     }
 
 
+@experiment(title="CG vs GEMM: sending bandwidth + memory stalls",
+            tags=("paper", "runtime"), bench=True,
+            fast=dict(worker_counts=(1, 8, 16, 24, 34)))
 def fig10(spec: MachineSpec | str = "henri",
           worker_counts: Sequence[int] = (1, 2, 4, 8, 16, 24, 30, 34),
           cg_kwargs: Optional[dict] = None,

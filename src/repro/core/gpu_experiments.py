@@ -20,6 +20,7 @@ from typing import Generator, List, Optional, Sequence
 import numpy as np
 
 from repro.core.placement import compute_core_ids
+from repro.core.registry import experiment
 from repro.core.results import ExperimentResult
 from repro.hardware.gpu import GPU, GPUSpec, V100, attach_gpu
 from repro.hardware.presets import MachineSpec, get_preset
@@ -41,6 +42,9 @@ def _memcpy_loop(gpu: GPU, nbytes: int, out: List[float],
         out.append(bw)
 
 
+@experiment(title="Host<->GPU transfers vs network performance",
+            tags=("extension", "gpu"),
+            fast=dict(reps=6, chunk=8 << 20))
 def gpu_vs_network(spec: MachineSpec | str = "henri",
                    gpu_spec: GPUSpec = V100,
                    chunk: int = 16 << 20,
@@ -102,6 +106,9 @@ def gpu_vs_network(spec: MachineSpec | str = "henri",
     return result
 
 
+@experiment(title="Host->GPU copy bandwidth under memory contention",
+            tags=("extension", "gpu"),
+            fast=dict(core_counts=[0, 4, 12], copies_per_point=4))
 def gpu_vs_stream(spec: MachineSpec | str = "henri",
                   gpu_spec: GPUSpec = V100,
                   core_counts: Optional[Sequence[int]] = None,

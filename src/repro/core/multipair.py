@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.registry import experiment
 from repro.core.results import ExperimentResult
 from repro.hardware.presets import MachineSpec, get_preset
 from repro.hardware.topology import Cluster
@@ -98,6 +99,10 @@ def run_multipair(n_pairs: int, size: int, reps: int = 10,
         per_pair_latencies=[np.asarray(l) for l in latencies])
 
 
+@experiment(name="multipair",
+            title="Multiple communicating thread pairs per node",
+            tags=("extension", "network"),
+            fast=dict(pair_counts=[1, 2, 4], sizes=[4, 16 << 20], reps=4))
 def multipair_experiment(pair_counts: Optional[Sequence[int]] = None,
                          sizes: Optional[Sequence[int]] = None,
                          reps: int = 8,

@@ -31,6 +31,7 @@ from repro.core.campaign import CampaignJournal, SweepGuard
 from repro.core.executor import PointSpec, value_row
 from repro.core.experiments import _guarded_observations
 from repro.core.placement import Placement, compute_core_ids, data_numa_for
+from repro.core.registry import experiment
 from repro.core.results import ExperimentResult
 from repro.core.sidebyside import SideBySideConfig, build_world
 from repro.kernels.roofline import Kernel, run_kernel
@@ -154,6 +155,11 @@ def _overlap_point(params: dict) -> dict:
             "slowdown_vs_ideal": [value_row(size, res.slowdown)]}
 
 
+@experiment(name="overlap",
+            title="Communication/computation overlap efficiency",
+            tags=("extension", "overlap"),
+            fast=dict(sizes=[65536, 1 << 20, 16 << 20],
+                      n_compute_cores=6))
 def overlap_experiment(sizes: Optional[Sequence[int]] = None,
                        n_compute_cores: int = 8,
                        cursor: int = 1,

@@ -12,10 +12,10 @@ import io
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.core import experiments as E
 from repro.core.report import format_si
 
-__all__ = ["PAPER_CLAIMS", "build_experiments_md"]
+__all__ = ["PAPER_CLAIMS", "build_experiments_md",
+           "render_registry_index"]
 
 # (figure id, paper claim, extractor(results) -> measured string)
 # ``results`` is the dict of experiment results keyed by figure id.
@@ -139,12 +139,27 @@ KNOWN_DEVIATIONS = """
 """
 
 
+def render_registry_index() -> str:
+    """Markdown index of every registered experiment (from the
+    registry, so it cannot drift from what `repro run` accepts)."""
+    from repro.core import registry
+
+    out = io.StringIO()
+    out.write("| Experiment | Kind | Capabilities | Title |\n")
+    out.write("|---|---|---|---|\n")
+    for defn in registry.all_defs():
+        caps = ", ".join(defn.capabilities())
+        out.write(f"| {defn.name} | {defn.kind} | {caps} | "
+                  f"{defn.title} |\n")
+    return out.getvalue()
+
+
 def build_experiments_md(path: Optional[str] = "EXPERIMENTS.md",
                          fast: bool = True,
                          spec: str = "henri",
                          verbose: bool = False) -> str:
     """Run every experiment and write the paper-vs-measured record."""
-    from repro.cli import run_experiment
+    from repro.core.registry import run_experiment
 
     results: Dict[str, object] = {}
     timings: Dict[str, float] = {}
@@ -172,6 +187,12 @@ def build_experiments_md(path: Optional[str] = "EXPERIMENTS.md",
         measured = extract(results)
         out.write(f"| {fig} | {claim} | {measured} |\n")
     out.write(KNOWN_DEVIATIONS)
+    out.write("\n## Experiment index\n\n")
+    out.write("Generated from the experiment registry "
+              "(`repro list --long`); extensions and ablations run via "
+              "the same CLI but are not part of the paper-claims table "
+              "above.\n\n")
+    out.write(render_registry_index())
     out.write("\n## Runtimes\n\n")
     for fig in sorted(timings):
         out.write(f"- {fig}: {timings[fig]:.1f}s\n")

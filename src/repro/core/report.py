@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.results import ExperimentResult, Series
 
 __all__ = ["render_table", "render_series", "render_experiment",
-           "write_experiments_md", "format_si"]
+           "render_table1", "write_experiments_md", "format_si"]
 
 
 def format_si(value: float, unit: str = "") -> str:
@@ -79,6 +79,19 @@ def render_experiment(result: ExperimentResult) -> str:
             detail = info.get("message") or info.get("error") or "failed"
             out.write(f"  {key}: {detail}\n")
     return out.getvalue()
+
+
+def render_table1(result: ExperimentResult) -> str:
+    """Paper Table 1: placement-impact summary (registered as the
+    ``table1`` experiment's renderer)."""
+    rows = [[r["data"], r["comm_thread"],
+             f'{r["latency_impact_from_cores"]}',
+             f'{r["latency_max_ratio"]:.2f}x',
+             f'{r["bandwidth_min_ratio"]:.2f}']
+            for r in result.meta["rows"]]
+    return render_table(
+        ["data", "comm thread", "lat. impact from cores",
+         "lat. max ratio", "bw min ratio"], rows)
 
 
 def write_experiments_md(sections: Dict[str, str],

@@ -1,0 +1,340 @@
+"""Config-driven custom scenarios: a TOML file instead of a flag soup.
+
+A scenario names a base experiment from the registry and layers custom
+sweep parameters, a fault plan, execution settings and output artifacts
+on top — the combinations the paper's methodology invites ("Figure 4a
+under link degradation", "fig10 with a fail-slow node at 2 jobs")
+without writing Python or a one-off shell pipeline.  ``repro run
+--scenario my.toml`` feeds the same PointSpec machinery as the built-in
+figures, so journaling, ``--resume`` and ``--jobs`` all work unchanged.
+
+Format (all tables optional except ``[scenario]``)::
+
+    [scenario]
+    experiment = "fig4a"        # registry name (see `repro list`)
+    spec = "henri"              # cluster preset
+    fast = true                 # start from the --fast profile
+
+    [params]                    # keyword overrides for the experiment
+    core_counts = [0, 12, 35]   # validated against its signature
+    reps = 4
+
+    [faults]
+    specs = ["link:src=0,dst=1,bw_factor=0.5,start=0,duration=1"]
+    seed = 0                    # fault randomness seed
+    timeout = 0.0002            # transport retransmit timeout (s)
+    max_retries = 8
+
+    [execution]
+    jobs = 2                    # worker processes (0 = cpu count)
+    journal = "campaign.jsonl"  # checkpoint journal path
+    resume = false
+
+    [output]
+    report = "report.md"        # markdown record (like --out)
+    trace = "trace.json"        # Chrome-tracing export
+    metrics = "metrics.json"    # metrics registry export
+    plot = false                # append ASCII charts
+
+CLI flags override scenario values (``--jobs 4`` beats
+``[execution] jobs``), so a scenario is a reproducible default, not a
+cage.  Validation is strict: unknown tables, unknown keys, wrong types,
+unknown experiments and parameters the experiment does not accept all
+fail with a :class:`ScenarioError` naming the offending field.
+
+Python 3.10 has no ``tomllib``; a deliberately small TOML-subset parser
+(tables, strings, numbers, booleans, flat arrays) covers the scenario
+schema there without adding a dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["Scenario", "ScenarioError", "load_scenario", "parse_scenario"]
+
+
+class ScenarioError(ValueError):
+    """A scenario file failed validation; the message names the field."""
+
+
+# ---------------------------------------------------------------------------
+# TOML loading (tomllib on 3.11+, subset parser on 3.10)
+# ---------------------------------------------------------------------------
+
+def _parse_toml(text: str, source: str) -> Dict[str, object]:
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        return _parse_mini_toml(text, source)
+    try:
+        return tomllib.loads(text)
+    except tomllib.TOMLDecodeError as err:
+        raise ScenarioError(f"{source}: invalid TOML: {err}") from None
+
+
+def _mini_value(raw: str, source: str, lineno: int) -> object:
+    raw = raw.strip()
+    if raw.startswith("[") and raw.endswith("]"):
+        inner = raw[1:-1].strip()
+        if not inner:
+            return []
+        return [_mini_value(part, source, lineno)
+                for part in _split_array(inner, source, lineno)]
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "\"'":
+        return raw[1:-1]
+    if raw in ("true", "false"):
+        return raw == "true"
+    try:
+        cleaned = raw.replace("_", "")
+        return float(cleaned) if any(c in cleaned for c in ".eE") \
+            else int(cleaned, 0)
+    except ValueError:
+        raise ScenarioError(
+            f"{source}:{lineno}: cannot parse value {raw!r} "
+            f"(mini-TOML parser: strings, numbers, booleans and flat "
+            f"arrays only)") from None
+
+
+def _split_array(inner: str, source: str, lineno: int) -> List[str]:
+    parts, depth, quote, cur = [], 0, "", []
+    for ch in inner:
+        if quote:
+            cur.append(ch)
+            if ch == quote:
+                quote = ""
+            continue
+        if ch in "\"'":
+            quote = ch
+        elif ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+            continue
+        cur.append(ch)
+    if "".join(cur).strip():
+        parts.append("".join(cur))
+    return parts
+
+
+def _parse_mini_toml(text: str, source: str) -> Dict[str, object]:
+    """TOML subset: ``[table]`` headers + ``key = value`` lines."""
+    doc: Dict[str, object] = {}
+    table = doc
+    for lineno, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("["):
+            if not stripped.endswith("]"):
+                raise ScenarioError(
+                    f"{source}:{lineno}: malformed table header "
+                    f"{stripped!r}")
+            name = stripped[1:-1].strip()
+            if name.startswith("["):
+                raise ScenarioError(
+                    f"{source}:{lineno}: arrays of tables ([[...]]) are "
+                    f"not part of the scenario schema")
+            table = doc.setdefault(name, {})
+            continue
+        if "=" not in stripped:
+            raise ScenarioError(
+                f"{source}:{lineno}: expected 'key = value', got "
+                f"{stripped!r}")
+        key, _, raw = stripped.partition("=")
+        # Trailing comments only outside strings/arrays (keep it simple:
+        # strip a ' #' tail when no quote follows it).
+        if " #" in raw and "\"" not in raw.split(" #", 1)[1] \
+                and "'" not in raw.split(" #", 1)[1]:
+            raw = raw.split(" #", 1)[0]
+        table[key.strip()] = _mini_value(raw, source, lineno)
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# Schema
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Scenario:
+    """A validated scenario: base experiment + layered configuration."""
+
+    name: str
+    experiment: str
+    spec: str = "henri"
+    fast: bool = False
+    params: Mapping[str, object] = field(default_factory=dict)
+    fault_specs: Tuple[str, ...] = ()
+    fault_seed: Optional[int] = None
+    timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+    jobs: Optional[int] = None
+    journal: Optional[str] = None
+    resume: bool = False
+    report: Optional[str] = None
+    trace: Optional[str] = None
+    metrics: Optional[str] = None
+    plot: bool = False
+
+    def describe(self) -> str:
+        bits = [f"experiment={self.experiment}", f"spec={self.spec}"]
+        if self.fast:
+            bits.append("fast")
+        if self.params:
+            bits.append(f"params={{{', '.join(sorted(self.params))}}}")
+        if self.fault_specs:
+            bits.append(f"faults={len(self.fault_specs)}")
+        if self.jobs is not None:
+            bits.append(f"jobs={self.jobs}")
+        return f"scenario {self.name}: " + ", ".join(bits)
+
+
+_SCHEMA: Dict[str, Dict[str, type | Tuple[type, ...]]] = {
+    "scenario": {"name": str, "experiment": str, "spec": str,
+                 "fast": bool, "title": str},
+    "faults": {"specs": list, "seed": int, "timeout": (int, float),
+               "max_retries": int},
+    "execution": {"jobs": int, "journal": str, "resume": bool},
+    "output": {"report": str, "trace": str, "metrics": str, "plot": bool},
+}
+
+
+def _check_table(doc: Mapping[str, object], table: str,
+                 source: str) -> Dict[str, object]:
+    raw = doc.get(table, {})
+    if not isinstance(raw, dict):
+        raise ScenarioError(f"{source}: [{table}] must be a table, got "
+                            f"{type(raw).__name__}")
+    schema = _SCHEMA[table]
+    for key, value in raw.items():
+        if key not in schema:
+            raise ScenarioError(
+                f"{source}: unknown key {key!r} in [{table}]; valid keys: "
+                f"{', '.join(sorted(schema))}")
+        expected = schema[key]
+        # bool is an int subclass; reject bools where ints are expected.
+        if isinstance(value, bool) and expected is not bool:
+            raise ScenarioError(
+                f"{source}: [{table}] {key} must be "
+                f"{getattr(expected, '__name__', 'number')}, got a boolean")
+        if not isinstance(value, expected):
+            name = expected.__name__ if isinstance(expected, type) \
+                else "number"
+            raise ScenarioError(
+                f"{source}: [{table}] {key} must be {name}, got "
+                f"{type(value).__name__} ({value!r})")
+    return dict(raw)
+
+
+def _validate_params(experiment: str, params: Mapping[str, object],
+                     source: str) -> None:
+    from repro.core import registry
+    defn = registry.get(experiment)
+    named, var_kw = defn.signature_params()
+    # spec and journal are configured via [scenario]/[execution], not
+    # [params]; passing them here would collide with the run() kwargs.
+    reserved = ("spec", "journal")
+    valid = [p for p in named if p not in reserved]
+    for key in params:
+        if key in reserved or (not var_kw and key not in named):
+            raise ScenarioError(
+                f"{source}: [params] {key!r} is not a parameter of "
+                f"experiment {experiment!r}; valid parameters: "
+                f"{', '.join(valid)}")
+
+
+def _validate_faults(specs: List[object], source: str) -> Tuple[str, ...]:
+    from repro.faults import parse_fault
+    out = []
+    for i, spec in enumerate(specs):
+        if not isinstance(spec, str):
+            raise ScenarioError(
+                f"{source}: [faults] specs[{i}] must be a string fault "
+                f"spec, got {type(spec).__name__}")
+        try:
+            parse_fault(spec)
+        except ValueError as err:
+            raise ScenarioError(
+                f"{source}: [faults] specs[{i}] ({spec!r}): {err}"
+                ) from None
+        out.append(spec)
+    return tuple(out)
+
+
+def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
+    """Parse + validate scenario TOML text into a :class:`Scenario`."""
+    from repro.core import registry
+
+    doc = _parse_toml(text, source)
+    if not isinstance(doc, dict):
+        raise ScenarioError(f"{source}: scenario must be a TOML document")
+    unknown = [k for k in doc
+               if k not in _SCHEMA and k != "params"]
+    if unknown:
+        raise ScenarioError(
+            f"{source}: unknown table(s) {', '.join(sorted(unknown))}; "
+            f"valid tables: [scenario], [params], [faults], [execution], "
+            f"[output]")
+
+    scen = _check_table(doc, "scenario", source)
+    if "experiment" not in scen:
+        raise ScenarioError(
+            f"{source}: [scenario] is missing the required key "
+            f"'experiment' (see `repro list` for valid names)")
+    experiment = scen["experiment"]
+    try:
+        registry.get(experiment)
+    except registry.UnknownExperimentError as err:
+        raise ScenarioError(f"{source}: [scenario] experiment: {err}"
+                            ) from None
+
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise ScenarioError(f"{source}: [params] must be a table")
+    _validate_params(experiment, params, source)
+
+    faults = _check_table(doc, "faults", source)
+    # Reliability knobs without fault specs are fine: like the CLI
+    # flags, they imply the reliable transport with an empty plan.
+    fault_specs = _validate_faults(faults.get("specs", []), source)
+
+    execution = _check_table(doc, "execution", source)
+    output = _check_table(doc, "output", source)
+    if execution.get("resume") and not execution.get("journal"):
+        raise ScenarioError(
+            f"{source}: [execution] resume = true requires journal")
+
+    name = scen.get("name") or experiment
+    timeout = faults.get("timeout")
+    return Scenario(
+        name=name,
+        experiment=experiment,
+        spec=scen.get("spec", "henri"),
+        fast=bool(scen.get("fast", False)),
+        params=dict(params),
+        fault_specs=fault_specs,
+        fault_seed=faults.get("seed"),
+        timeout=float(timeout) if timeout is not None else None,
+        max_retries=faults.get("max_retries"),
+        jobs=execution.get("jobs"),
+        journal=execution.get("journal"),
+        resume=bool(execution.get("resume", False)),
+        report=output.get("report"),
+        trace=output.get("trace"),
+        metrics=output.get("metrics"),
+        plot=bool(output.get("plot", False)),
+    )
+
+
+def load_scenario(path: str) -> Scenario:
+    """Load and validate a scenario TOML file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        raise ScenarioError(f"cannot read scenario {path}: {err}") from None
+    return parse_scenario(text, source=path)

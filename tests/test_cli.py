@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main, run_experiment
+from repro.cli import main, run_experiment
 
 
 def test_list_command(capsys):
@@ -39,10 +39,11 @@ def test_run_fig9_renders(capsys):
     assert "backoff" in out
 
 
-def test_all_registered_experiments_have_fast_params():
-    from repro.cli import _FAST_KWARGS
-    for name in EXPERIMENTS:
-        assert name in _FAST_KWARGS or name in ("fig1a", "fig1b")
+def test_list_long_shows_capabilities(capsys):
+    assert main(["list", "--long"]) == 0
+    out = capsys.readouterr().out
+    assert "journal" in out and "bench" in out
+    assert "Constant frequencies vs latency" in out
 
 
 def test_run_with_trace_and_metrics(capsys, tmp_path):
@@ -76,7 +77,8 @@ def test_bench_command(capsys, tmp_path):
     assert main(["bench", "--experiments", "fig9", "--out",
                  str(out)]) == 0
     doc = json.loads(out.read_text())
-    assert doc["bench"] == "pr4"
+    # No explicit --tag: derived from the output filename.
+    assert doc["bench"] == "bench"
     assert doc["host_cpus"] >= 1
     assert doc["seconds"]["fig9"] > 0
     assert doc["total_seconds"] >= doc["seconds"]["fig9"]
@@ -101,3 +103,23 @@ def test_bench_jobs_records_both_laps(capsys, tmp_path):
 
 def test_log_level_flag(capsys):
     assert main(["--log-level", "INFO", "list"]) == 0
+
+
+def test_bench_requires_tag_or_out(capsys):
+    assert main(["bench", "--experiments", "fig9"]) == 2
+    assert "--tag" in capsys.readouterr().err
+
+
+def test_bench_out_strips_bench_prefix(capsys, tmp_path):
+    out = tmp_path / "BENCH_ci.json"
+    assert main(["bench", "--experiments", "fig9", "--out",
+                 str(out)]) == 0
+    assert json.loads(out.read_text())["bench"] == "ci"
+
+
+def test_unknown_experiment_message_names_valid(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig99"])
+    err = capsys.readouterr().err
+    assert "unknown experiment 'fig99'" in err
+    assert "valid experiments" in err and "fig4a" in err

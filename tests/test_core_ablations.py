@@ -1,0 +1,86 @@
+"""Tests for the mechanism ablations and their registered wrappers."""
+
+import pytest
+
+from repro.core import registry
+from repro.core.ablations import (ALL_ABLATIONS, ablate_dma_priority,
+                                  ablate_pio_colocation)
+
+FAST_COUNTS = [0, 20, 35]
+
+
+def test_all_ablations_table_is_complete():
+    assert set(ALL_ABLATIONS) == {
+        "no_pio_colocation", "no_dma_derating", "no_dma_priority",
+        "no_stack_stall", "no_scheduler_locality"}
+    for name, func in ALL_ABLATIONS.items():
+        assert callable(func), name
+
+
+def test_all_ablations_have_registry_wrappers():
+    for name in ALL_ABLATIONS:
+        defn = registry.get(name)
+        assert "ablation" in defn.tags
+        assert not defn.in_all
+        assert defn.fast_kwargs
+
+
+def test_pio_colocation_ablation_removes_latency_doubling():
+    baseline, ablated = ablate_pio_colocation(core_counts=FAST_COUNTS,
+                                              reps=3)
+    assert ablated.name == "fig4a_no_pio_colocation"
+    base_ratio = baseline.observations["latency_max_ratio"]
+    abl_ratio = ablated.observations["latency_max_ratio"]
+    # The mechanism carries fig4a's doubling: without it the latency
+    # inflation mostly disappears.
+    assert base_ratio > 1.5
+    assert abl_ratio < base_ratio
+
+
+def test_dma_priority_ablation_collapses_bandwidth():
+    baseline, ablated = ablate_dma_priority(core_counts=FAST_COUNTS,
+                                            reps=3)
+    assert ablated.name == "fig4b_no_dma_priority"
+    # An unweighted NIC keeps less of its bandwidth under contention.
+    assert ablated.observations["bandwidth_min_ratio"] \
+        < baseline.observations["bandwidth_min_ratio"]
+
+
+def test_registered_wrapper_builds_comparable_result():
+    result = registry.run_experiment("no_pio_colocation", fast=True)
+    assert result.name == "no_pio_colocation"
+    base_keys = {k for k in result.series if k.startswith("baseline_")}
+    abl_keys = {k for k in result.series if k.startswith("ablated_")}
+    assert base_keys and len(base_keys) == len(abl_keys)
+    assert {k.replace("baseline_", "ablated_") for k in base_keys} \
+        == abl_keys
+    assert "baseline_latency_max_ratio" in result.observations
+    assert "ablated_latency_max_ratio" in result.observations
+    # The wrapper renders like any other experiment.
+    text = registry.get("no_pio_colocation").render(result)
+    assert "no_pio_colocation" in text
+
+
+def test_runtime_ablations_reject_other_specs():
+    with pytest.raises(ValueError, match="henri"):
+        registry.run_experiment("no_stack_stall", spec="bora", fast=True)
+    with pytest.raises(ValueError, match="henri"):
+        registry.run_experiment("no_scheduler_locality", spec="bora",
+                                fast=True)
+
+
+@pytest.mark.slow
+def test_stack_stall_ablation_recovers_bandwidth():
+    result = registry.run_experiment("no_stack_stall", fast=True)
+    # Stack stalling is what collapses CG's sending bandwidth: without
+    # it more of the 1-worker bandwidth is retained at high workers.
+    assert result.observations["ablated_bw_retained"] \
+        >= result.observations["baseline_bw_retained"]
+
+
+@pytest.mark.slow
+def test_scheduler_locality_ablation_inflates_stalls():
+    result = registry.run_experiment("no_scheduler_locality", fast=True)
+    assert result.observations["ablated_stall_fraction"] \
+        >= result.observations["baseline_stall_fraction"]
+    assert result.observations["slowdown"] > 0

@@ -1,13 +1,14 @@
 """Tests for the paper-claims record (EXPERIMENTS.md generator)."""
 
-from repro.cli import EXPERIMENTS
+from repro.core import registry
 from repro.core.record import KNOWN_DEVIATIONS, PAPER_CLAIMS
 
 
 def test_every_claim_targets_a_runnable_experiment():
     names = {fig for fig, _, _ in PAPER_CLAIMS}
     for name in names:
-        assert name in EXPERIMENTS, f"{name} not runnable via the CLI"
+        assert name in registry.names(), \
+            f"{name} not runnable via the CLI"
 
 
 def test_all_paper_artefacts_covered():

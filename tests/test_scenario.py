@@ -1,0 +1,203 @@
+"""Tests for the scenario layer (TOML -> validated Scenario -> run)."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.scenario import (Scenario, ScenarioError, _parse_mini_toml,
+                                 load_scenario, parse_scenario)
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((ROOT / "examples").glob("scenario_*.toml"))
+
+VALID = """
+[scenario]
+name = "fig4a-under-faults"
+experiment = "fig4a"
+spec = "henri"
+fast = true
+
+[params]
+core_counts = [0, 12, 35]
+reps = 4
+
+[faults]
+specs = ["link:src=0,dst=1,bw_factor=0.5,start=0,duration=1"]
+timeout = 0.0002
+max_retries = 8
+
+[execution]
+jobs = 2
+journal = "campaign.jsonl"
+
+[output]
+report = "report.md"
+"""
+
+
+def test_parse_valid_scenario():
+    scen = parse_scenario(VALID)
+    assert scen.name == "fig4a-under-faults"
+    assert scen.experiment == "fig4a"
+    assert scen.fast is True
+    assert scen.params == {"core_counts": [0, 12, 35], "reps": 4}
+    assert scen.fault_specs == (
+        "link:src=0,dst=1,bw_factor=0.5,start=0,duration=1",)
+    assert scen.timeout == pytest.approx(0.0002)
+    assert scen.max_retries == 8
+    assert scen.jobs == 2
+    assert scen.journal == "campaign.jsonl"
+    assert scen.report == "report.md"
+    assert "fig4a" in scen.describe()
+
+
+def test_minimal_scenario_defaults():
+    scen = parse_scenario('[scenario]\nexperiment = "fig9"\n')
+    assert scen == Scenario(name="fig9", experiment="fig9")
+
+
+@pytest.mark.parametrize("text,needle", [
+    ("[scenario]\nspec = 'henri'\n", "experiment"),
+    ("[scenario]\nexperiment = 'fig99'\n", "fig99"),
+    ("[scenario]\nexperiment = 'fig9'\n[exec]\njobs = 2\n", "exec"),
+    ("[scenario]\nexperiment = 'fig9'\nbogus = 1\n", "bogus"),
+    ("[scenario]\nexperiment = 'fig9'\nfast = 3\n", "fast"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\njobs = 'two'\n",
+     "jobs"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\njobs = true\n",
+     "jobs"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\nresume = true\n",
+     "resume"),
+    ("[scenario]\nexperiment = 'fig4a'\n[params]\nbogus_knob = 3\n",
+     "bogus_knob"),
+    ("[scenario]\nexperiment = 'fig4a'\n[params]\nspec = 'bora'\n",
+     "spec"),
+    ("[scenario]\nexperiment = 'fig4a'\n[params]\njournal = 'x'\n",
+     "journal"),
+    ("[scenario]\nexperiment = 'fig9'\n[faults]\nspecs = ['zap:x=1']\n",
+     "zap"),
+    ("[scenario]\nexperiment = 'fig9'\n[faults]\nspecs = [3]\n",
+     "specs[0]"),
+])
+def test_malformed_scenarios_name_the_field(text, needle):
+    with pytest.raises(ScenarioError) as err:
+        parse_scenario(text)
+    assert needle in str(err.value)
+
+
+def test_unreadable_file_is_a_scenario_error(tmp_path):
+    with pytest.raises(ScenarioError, match="cannot read"):
+        load_scenario(str(tmp_path / "missing.toml"))
+
+
+def test_var_kw_experiments_reject_unknown_params():
+    """fig4a forwards **kw; bogus params must still fail validation
+    (its registry entry declares the forwarded parameters)."""
+    with pytest.raises(ScenarioError, match="valid parameters"):
+        parse_scenario(
+            '[scenario]\nexperiment = "fig4a"\n[params]\nnope = 1\n')
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_scenarios_validate(path):
+    scen = load_scenario(str(path))
+    assert scen.fast, f"{path.name} should use --fast for CI"
+    assert scen.fault_specs
+
+
+def test_mini_toml_parser_matches_schema_subset():
+    """The 3.10 fallback parser handles everything the examples use."""
+    doc = _parse_mini_toml(VALID, "<test>")
+    assert doc["scenario"]["experiment"] == "fig4a"
+    assert doc["scenario"]["fast"] is True
+    assert doc["params"]["core_counts"] == [0, 12, 35]
+    assert doc["faults"]["timeout"] == pytest.approx(0.0002)
+    assert doc["execution"]["jobs"] == 2
+    # And the examples themselves.
+    for path in EXAMPLES:
+        parsed = _parse_mini_toml(path.read_text(), path.name)
+        assert parsed["scenario"]["experiment"]
+
+
+def test_mini_toml_parser_rejects_garbage():
+    with pytest.raises(ScenarioError, match="key = value"):
+        _parse_mini_toml("[scenario]\nnot a kv line\n", "<t>")
+    with pytest.raises(ScenarioError, match="cannot parse"):
+        _parse_mini_toml("[scenario]\nx = {a = 1}\n", "<t>")
+    with pytest.raises(ScenarioError, match="arrays of tables"):
+        _parse_mini_toml("[[faults]]\n", "<t>")
+
+
+def test_scenario_runs_end_to_end(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    scenario = tmp_path / "scen.toml"
+    scenario.write_text("""
+[scenario]
+name = "fig9-smoke"
+experiment = "fig9"
+fast = true
+
+[params]
+sizes = [4]
+reps = 4
+
+[execution]
+journal = "scen.journal.jsonl"
+
+[output]
+report = "scen.md"
+""")
+    assert main(["run", "--scenario", str(scenario)]) == 0
+    assert (tmp_path / "scen.md").exists()
+    journal = (tmp_path / "scen.journal.jsonl").read_text().splitlines()
+    assert journal and all(json.loads(l) for l in journal)
+    # --resume replays the journal; --jobs overrides the scenario's.
+    capsys.readouterr()
+    assert main(["run", "--scenario", str(scenario), "--resume",
+                 "--jobs", "2"]) == 0
+    assert "fig9" in capsys.readouterr().out
+
+
+def test_scenario_with_faults_end_to_end(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    scenario = tmp_path / "fault.toml"
+    scenario.write_text("""
+[scenario]
+experiment = "fig1a"
+fast = true
+
+[params]
+sizes = [4, 65536]
+reps = 4
+
+[faults]
+specs = ["loss:loss_rate=0.05,start=0,duration=1"]
+timeout = 0.0002
+max_retries = 8
+
+[output]
+report = "fault.md"
+""")
+    assert main(["run", "--scenario", str(scenario)]) == 0
+    assert "fig1a" in (tmp_path / "fault.md").read_text()
+
+
+def test_scenario_cli_conflicts(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig9", "--scenario", "x.toml"])
+    assert "not both" in capsys.readouterr().err
+    with pytest.raises(SystemExit):
+        main(["run"])
+    assert "--scenario" in capsys.readouterr().err
+
+
+def test_malformed_scenario_fails_via_cli(tmp_path, capsys):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[scenario]\nexperiment = "fig4a"\n'
+                   '[params]\nbogus_knob = 3\n')
+    with pytest.raises(SystemExit):
+        main(["run", "--scenario", str(bad)])
+    err = capsys.readouterr().err
+    assert "bogus_knob" in err and "valid parameters" in err
