@@ -200,6 +200,12 @@ def _apply_scenario(args, parser):
         args.max_retries = scenario.max_retries
     args.journal = args.journal or scenario.journal
     args.resume = args.resume or scenario.resume
+    if args.point_timeout is None:
+        args.point_timeout = scenario.point_timeout
+    if args.point_retries is None:
+        args.point_retries = scenario.point_retries
+    if args.keep_going is None:
+        args.keep_going = scenario.keep_going
     return scenario
 
 
@@ -259,6 +265,34 @@ def main(argv: Optional[list] = None) -> int:
                      "(0 = cpu count, default 1 = serial); seeded runs "
                      "are byte-identical at any level — see "
                      "docs/PARALLEL.md")
+    robust = run.add_argument_group(
+        "execution robustness", "self-healing sweep execution: per-point "
+        "deadlines, retry with backoff, crash requeue and degraded "
+        "completion (docs/PARALLEL.md 'Failure semantics'); timeouts "
+        "need --jobs >= 2")
+    robust.add_argument("--point-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per sweep point; a "
+                        "point past it has its worker killed and is "
+                        "retried (default: no deadline)")
+    robust.add_argument("--point-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per point after a worker crash or "
+                        "timeout, with jittered exponential backoff "
+                        "(default 2); retries reuse the point's derived "
+                        "seed, so a retried success is byte-identical")
+    robust.add_argument("--keep-going", default=None,
+                        action=argparse.BooleanOptionalAction,
+                        help="complete the sweep when a point exhausts "
+                        "its retries, journaling a structured failure "
+                        "and exiting non-zero (default); --no-keep-going "
+                        "aborts instead")
+    robust.add_argument("--check-invariants", action="store_true",
+                        help="runtime self-checks after every rate "
+                        "solve: capacity/rate/usage-cache invariants "
+                        "plus a sampled bitwise cross-check of the "
+                        "incremental fluid solver against a from-scratch "
+                        "solve (env: REPRO_CHECK_INVARIANTS=1)")
     run.add_argument("--out", default=None,
                      help="write a markdown record to this path")
     run.add_argument("--plot", action="store_true",
@@ -334,9 +368,26 @@ def main(argv: Optional[list] = None) -> int:
     except ValueError as err:
         parser.error(str(err))
 
+    from repro.core.executor import ExecutionPolicy
+    policy_kwargs = {}
+    if args.point_timeout is not None:
+        policy_kwargs["point_timeout"] = args.point_timeout
+    if args.point_retries is not None:
+        policy_kwargs["point_retries"] = args.point_retries
+    if args.keep_going is not None:
+        policy_kwargs["keep_going"] = args.keep_going
+    try:
+        policy = ExecutionPolicy(**policy_kwargs)
+    except ValueError as err:
+        parser.error(str(err))
+
     from contextlib import ExitStack
     sections: Dict[str, str] = {}
+    results: Dict[str, object] = {}
     with ExitStack() as stack:
+        if args.check_invariants:
+            from repro.sim.invariants import invariant_checks
+            stack.enter_context(invariant_checks())
         if plan is not None:
             from repro.faults import fault_context
             stack.enter_context(fault_context(plan, reliability))
@@ -352,7 +403,7 @@ def main(argv: Optional[list] = None) -> int:
                 CampaignJournal(args.journal, resume=args.resume))
         if args.jobs != 1:
             from repro.core.executor import executor_context
-            stack.enter_context(executor_context(args.jobs))
+            stack.enter_context(executor_context(args.jobs, policy))
         for name in names:
             defn = registry.get(name)
             t0 = time.time()
@@ -361,6 +412,7 @@ def main(argv: Optional[list] = None) -> int:
             overrides = scenario.params if scenario is not None else None
             result = defn.run(spec=args.spec, fast=args.fast,
                               journal=journal, overrides=overrides)
+            results[name] = result
             text = defn.render(result)
             if getattr(args, "plot", False) and defn.plot_capable:
                 from repro.core.plotting import plot_experiment
@@ -386,6 +438,20 @@ def main(argv: Optional[list] = None) -> int:
                              title=f"Experiment run ({args.spec}"
                              f"{', fast' if args.fast else ''})")
         print(f"wrote {args.out}", file=sys.stderr)
+
+    # Harness-level point losses (worker crash / timeout with retries
+    # exhausted) mean the campaign is degraded: reports render with the
+    # holes marked, the journal has structured failure entries, and the
+    # exit code says so.  Simulated-fault failures are expected output
+    # and do not affect the exit code.
+    from repro.core.report import (collect_harness_failures,
+                                   render_failure_table)
+    harness = collect_harness_failures(results)
+    if harness:
+        print(f"\ncampaign DEGRADED: {len(harness)} point(s) lost to "
+              f"harness failures (retries exhausted)", file=sys.stderr)
+        print(render_failure_table(harness), file=sys.stderr)
+        return 3
     return 0
 
 

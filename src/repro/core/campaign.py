@@ -289,6 +289,13 @@ class SweepGuard:
             "points": len(plan),
             "replayed": len(plan) - n_pending,
             "failed": len([s for s in statuses.values() if s == "failed"]),
+            # Harness-level failures (worker crash / timeout, retries
+            # exhausted) — as opposed to simulated faults a point
+            # reports.  Non-zero means the campaign is *degraded*:
+            # ``repro run`` exits non-zero and prints a failure table.
+            "degraded": len([key for key, s in statuses.items()
+                             if s == "failed"
+                             and result.failures.get(key, {}).get("harness")]),
         }
         return statuses
 

@@ -31,6 +31,17 @@ unchanged.  The ambient fault plan is deliberately *excluded* from the
 fingerprint: resuming a faulted campaign without the fault must replay
 the completed points and re-run only the failed ones (see
 ``tests/test_campaign.py``).
+
+Failure semantics (docs/PARALLEL.md "Failure semantics"): the parallel
+path is *self-healing*.  Each point gets an optional wall-clock
+deadline; a timed-out or crashed point is retried with exponential
+backoff (the transport's :func:`~repro.faults.reliability.backoff_delay`
+policy) under the **same** derived point seed, so a successful retry is
+byte-identical to a first-try success.  A ``BrokenProcessPool`` rebuilds
+the pool and requeues only the in-flight points — completed entries are
+never recomputed.  Exhausted retries produce a structured *harness*
+failure entry (``failure.harness = True``) instead of aborting the
+sweep, unless :attr:`ExecutionPolicy.keep_going` is off.
 """
 
 from __future__ import annotations
@@ -40,7 +51,10 @@ import importlib
 import json
 import logging
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from bisect import insort
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import ExitStack, contextmanager
 from dataclasses import dataclass, field
@@ -49,14 +63,53 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Tuple)
 
 from repro.analysis.stats import summarize
+from repro.faults.reliability import backoff_delay as _backoff
 
 __all__ = [
-    "PointSpec", "SweepExecutor", "executor_context", "active_executor",
+    "PointSpec", "ExecutionPolicy", "PointTimeout", "WorkerCrash",
+    "SweepExecutor", "executor_context", "active_executor",
     "stat_row", "value_row", "build_env", "code_version",
     "point_fingerprint", "resolve_runner",
 ]
 
 logger = logging.getLogger(__name__)
+
+
+class WorkerCrash(RuntimeError):
+    """A pool worker process died while the point was in flight."""
+
+
+class PointTimeout(RuntimeError):
+    """A point exceeded its wall-clock deadline and its worker was killed."""
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Timeout / retry / degradation policy for a parallel sweep.
+
+    ``point_timeout`` is a wall-clock deadline in seconds per point
+    (``None`` = no deadline; only enforceable with ``jobs >= 2``, the
+    serial path cannot preempt itself).  A timed-out or crashed point is
+    retried up to ``point_retries`` times with jittered exponential
+    backoff.  With ``keep_going`` (the default) an exhausted point
+    degrades to a structured journal failure entry; without it, the
+    sweep raises instead, reproducing the pre-self-healing abort.
+    """
+
+    point_timeout: Optional[float] = None
+    point_retries: int = 2
+    keep_going: bool = True
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.point_timeout is not None and self.point_timeout <= 0:
+            raise ValueError("point_timeout must be > 0")
+        if self.point_retries < 0:
+            raise ValueError("point_retries must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -201,6 +254,9 @@ def build_env() -> dict:
         env["telemetry"] = {"trace": tele.tracer is not None,
                             "metrics": tele.registry is not None,
                             "run": tele.run_label}
+    from repro.sim import invariants as _inv
+    if _inv.ENABLED:
+        env["check_invariants"] = {"sample": _inv.SAMPLE_EVERY}
     return env
 
 
@@ -214,7 +270,9 @@ def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
     safe (identical floats whether or not a pool is involved).
     """
     spec, env = task
+    from repro.faults.chaos import maybe_chaos
     from repro.faults.context import point_scope
+    maybe_chaos(spec.experiment, spec.key)
     entry: dict = {"key": spec.key}
     with ExitStack() as stack:
         fault_env = env.get("fault_plan")
@@ -233,6 +291,10 @@ def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
             tele = stack.enter_context(telemetry_context(
                 trace=tele_env["trace"], metrics=tele_env["metrics"]))
             tele.set_run(tele_env["run"])
+        inv_env = env.get("check_invariants")
+        if inv_env is not None:
+            from repro.sim.invariants import invariant_checks
+            stack.enter_context(invariant_checks(inv_env["sample"]))
         stack.enter_context(point_scope(spec.experiment, spec.key))
         try:
             rows = resolve_runner(spec.runner)(dict(spec.params))
@@ -263,6 +325,28 @@ def _worker_init() -> None:
 
 # -- the executor ----------------------------------------------------------
 
+def _obs_inc(name: str, n: float = 1.0) -> None:
+    """Parent-side executor counter (only materialised when hit, so
+    crash-free runs export byte-identical metrics at any jobs level)."""
+    from repro.obs.context import active_telemetry
+    tele = active_telemetry()
+    if tele is not None and tele.registry is not None:
+        tele.registry.counter(name).inc(n)
+
+
+def _retry_jitter(spec: PointSpec, attempt: int) -> float:
+    """Deterministic backoff jitter in ``[0, 0.25)`` for a retry.
+
+    Derived from the point identity and attempt number (not the wall
+    clock), so a re-run of the same degraded sweep retries on the same
+    schedule.  Jitter only spreads wall-clock submissions; it cannot
+    affect results — those depend solely on the point seed.
+    """
+    from repro.faults.context import derive_point_seed
+    seed = derive_point_seed(attempt, spec.experiment, spec.key)
+    return (seed % 997) / 997.0 * 0.25
+
+
 class SweepExecutor:
     """Maps points over a process pool, yielding in submission order.
 
@@ -270,13 +354,22 @@ class SweepExecutor:
     routes through :func:`_execute_point` — the serial path is the
     parallel path with a pool of zero.  ``jobs == 0`` at construction
     means "one per CPU".
+
+    The parallel path is a submission-order futures loop (window =
+    ``jobs``) rather than ``pool.map``: each in-flight point carries a
+    deadline, crashes and timeouts requeue the affected points with
+    backoff, and results are buffered per index and yielded contiguously
+    — the merge order is identical whatever the completion (or retry)
+    order was.
     """
 
-    def __init__(self, jobs: int = 1):
+    def __init__(self, jobs: int = 1,
+                 policy: Optional[ExecutionPolicy] = None):
         jobs = int(jobs)
         if jobs == 0:
             jobs = os.cpu_count() or 1
         self.jobs = max(1, jobs)
+        self.policy = policy if policy is not None else ExecutionPolicy()
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # -- pool lifecycle ----------------------------------------------------
@@ -292,23 +385,47 @@ class SweepExecutor:
                 initializer=_worker_init)
         return self._pool
 
-    def close(self) -> None:
+    def close(self, graceful: bool = True) -> None:
+        """Shut the pool down.
+
+        On the clean path this *waits* for workers: tearing them down
+        mid-write (``wait=False``) can orphan a worker inside a
+        half-finished journal append or telemetry pickle.  Error paths
+        pass ``graceful=False`` to stay non-blocking — the pool is
+        already broken or about to be killed.
+        """
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.shutdown(wait=graceful, cancel_futures=True)
             self._pool = None
+
+    def _kill_workers(self) -> None:
+        """Terminate every pool worker and discard the pool.
+
+        A running task cannot be cancelled through the executor API, so
+        enforcing a deadline means killing the worker under it; the pool
+        is rebuilt lazily on the next submission.
+        """
+        pool = self._pool
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+        pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
 
     def __enter__(self) -> "SweepExecutor":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(graceful=exc_type is None)
 
     # -- mapping -----------------------------------------------------------
     def map_points(self, tasks: Iterable[Tuple[PointSpec, dict]]
                    ) -> Iterator[dict]:
         """Execute every ``(spec, env)`` task; yield entries in task
-        order.  A crashed worker process (as opposed to a point that
-        merely raised) surfaces as a ``RuntimeError``."""
+        order.  Worker crashes and point timeouts are retried per
+        :attr:`policy`; a point that exhausts its retries yields a
+        structured harness-failure entry (``keep_going``) or raises."""
         tasks = list(tasks)
         if self.jobs <= 1:
             return (_execute_point(task) for task in tasks)
@@ -316,25 +433,177 @@ class SweepExecutor:
 
     def _map_parallel(self, tasks: List[Tuple[PointSpec, dict]]
                       ) -> Iterator[dict]:
-        pool = self._ensure_pool()
-        # chunksize=1: points are seconds-long simulations, so per-task
-        # dispatch overhead is noise and small chunks keep the pool
-        # balanced when point durations are skewed.
-        results = pool.map(_execute_point, tasks, chunksize=1)
-        while True:
-            try:
-                entry = next(results)
-            except StopIteration:
-                return
-            except BrokenProcessPool as err:
-                self.close()
-                keys = [spec.key for spec, _env in tasks]
-                raise RuntimeError(
-                    f"sweep worker process died while executing "
-                    f"{keys!r}; the sweep cannot be merged "
-                    f"deterministically — re-run (a campaign journal "
-                    f"resumes the completed points)") from err
-            yield entry
+        policy = self.policy
+        n = len(tasks)
+        # (ready_at, index) pairs awaiting (re)submission, kept sorted;
+        # the initial load is all-ready in index order, so first
+        # submissions happen in task order.
+        waiting: List[Tuple[float, int]] = [(0.0, i) for i in range(n)]
+        inflight: Dict[object, int] = {}     # future -> task index
+        deadlines: Dict[object, float] = {}  # future -> monotonic deadline
+        failures = [0] * n                   # failed attempts per point
+        buffered: Dict[int, dict] = {}       # index -> finished entry
+        next_emit = 0
+
+        def submit_ready() -> None:
+            now = time.monotonic()
+            i = 0
+            while i < len(waiting) and len(inflight) < self.jobs:
+                ready_at, idx = waiting[i]
+                if ready_at > now:
+                    break  # sorted: nothing later is ready either
+                waiting.pop(i)
+                try:
+                    future = self._ensure_pool().submit(
+                        _execute_point, tasks[idx])
+                except BrokenProcessPool:
+                    # A previously-submitted point already killed the
+                    # pool and its futures are not harvested yet:
+                    # requeue this point untouched and let the wait
+                    # loop surface the crash for the in-flight ones.
+                    insort(waiting, (ready_at, idx))
+                    self.close(graceful=False)
+                    break
+                inflight[future] = idx
+                if policy.point_timeout is not None:
+                    # Window == pool width, so a submitted task starts
+                    # (approximately) immediately; deadline-from-submit
+                    # is the per-point wall-clock deadline.
+                    deadlines[future] = time.monotonic() \
+                        + policy.point_timeout
+            return
+
+        def charge(idx: int, err: BaseException) -> None:
+            """Count a failed attempt; requeue with backoff or exhaust."""
+            failures[idx] += 1
+            spec = tasks[idx][0]
+            if failures[idx] > policy.point_retries:
+                if not policy.keep_going:
+                    self.close(graceful=False)
+                    raise RuntimeError(
+                        f"sweep point {spec.key!r} failed after "
+                        f"{failures[idx]} attempt(s): {err} "
+                        f"(keep_going is off; a campaign journal resumes "
+                        f"the completed points)") from err
+                _obs_inc("executor.points_failed")
+                logger.warning("point %s/%s failed permanently after "
+                               "%d attempt(s): %s", spec.experiment,
+                               spec.key, failures[idx], err)
+                buffered[idx] = {
+                    "key": spec.key, "status": "failed",
+                    "failure": {"error": type(err).__name__,
+                                "message": str(err), "harness": True,
+                                "attempts": failures[idx]}}
+            else:
+                _obs_inc("executor.point_retries")
+                delay = _backoff(policy.backoff_base_s, failures[idx],
+                                 policy.backoff_factor,
+                                 policy.backoff_cap_s,
+                                 _retry_jitter(spec, failures[idx]))
+                logger.info("retrying point %s/%s in %.2fs (attempt %d "
+                            "failed: %s)", spec.experiment, spec.key,
+                            delay, failures[idx], err)
+                insort(waiting, (time.monotonic() + delay, idx))
+
+        def harvest(future) -> Optional[dict]:
+            """Entry of a done future, or ``None`` if it died with it."""
+            if future.done() and not future.cancelled():
+                try:
+                    return future.result()
+                except BaseException:  # noqa: BLE001 - crash/teardown
+                    return None
+            return None
+
+        while next_emit < n:
+            submit_ready()
+            if not inflight:
+                if not waiting:  # pragma: no cover - defensive
+                    raise RuntimeError("sweep stalled with points missing")
+                time.sleep(max(0.0, waiting[0][0] - time.monotonic()))
+                continue
+
+            wait_s = None
+            if deadlines:
+                wait_s = max(0.0, min(deadlines.values()) - time.monotonic())
+            if waiting and len(inflight) < self.jobs:
+                wake = max(0.0, waiting[0][0] - time.monotonic())
+                wait_s = wake if wait_s is None else min(wait_s, wake)
+            done, _ = _futures_wait(list(inflight), timeout=wait_s,
+                                    return_when=FIRST_COMPLETED)
+
+            crashed = False
+            for future in done:
+                idx = inflight.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    entry = future.result()
+                except BrokenProcessPool:
+                    crashed = True
+                    charge(idx, WorkerCrash(
+                        f"worker process died while executing "
+                        f"{tasks[idx][0].key!r}"))
+                except Exception as err:  # unpicklable result, teardown
+                    charge(idx, WorkerCrash(
+                        f"point {tasks[idx][0].key!r} was lost to a "
+                        f"harness error: {type(err).__name__}: {err}"))
+                else:
+                    # No per-entry attempt annotation: a retried success
+                    # must stay byte-identical to a first-try success.
+                    buffered[idx] = entry
+
+            if crashed:
+                # The pool is broken: every other in-flight future is
+                # dead too.  Drain any that still carry a result, charge
+                # the rest (the culprit cannot be attributed, and with
+                # window == jobs they were all running), rebuild the
+                # pool lazily, and carry on — completed entries are
+                # already buffered and are never recomputed.
+                _obs_inc("executor.worker_crashes")
+                doomed = list(inflight.items())
+                inflight.clear()
+                deadlines.clear()
+                self.close(graceful=False)
+                for future, idx in doomed:
+                    entry = harvest(future)
+                    if entry is not None:
+                        buffered[idx] = entry
+                    else:
+                        charge(idx, WorkerCrash(
+                            f"worker pool broke while "
+                            f"{tasks[idx][0].key!r} was in flight"))
+            elif deadlines:
+                now = time.monotonic()
+                expired = {f for f, dl in deadlines.items()
+                           if dl <= now and not f.done()}
+                if expired:
+                    # Hung workers cannot be cancelled: kill the pool,
+                    # charge the expired points a timeout, and requeue
+                    # the innocent in-flight bystanders at no charge.
+                    victims = []
+                    bystanders = []
+                    for future, idx in list(inflight.items()):
+                        entry = harvest(future)
+                        if entry is not None:
+                            buffered[idx] = entry
+                        elif future in expired:
+                            victims.append(idx)
+                        else:
+                            bystanders.append(idx)
+                    inflight.clear()
+                    deadlines.clear()
+                    self._kill_workers()
+                    _obs_inc("executor.point_timeouts", float(len(victims)))
+                    for idx in victims:
+                        charge(idx, PointTimeout(
+                            f"point {tasks[idx][0].key!r} exceeded its "
+                            f"{policy.point_timeout:g}s deadline"))
+                    now = time.monotonic()
+                    for idx in bystanders:
+                        insort(waiting, (now, idx))
+
+            while next_emit in buffered:
+                yield buffered.pop(next_emit)
+                next_emit += 1
 
 
 # -- ambient executor context (mirrors faults/telemetry) -------------------
@@ -348,10 +617,10 @@ def active_executor() -> Optional[SweepExecutor]:
 
 
 @contextmanager
-def executor_context(jobs: int):
+def executor_context(jobs: int, policy: Optional[ExecutionPolicy] = None):
     """Install a :class:`SweepExecutor` for every sweep run inside the
     ``with`` block (consumed by ``SweepGuard.run_specs``)."""
-    executor = SweepExecutor(jobs=jobs)
+    executor = SweepExecutor(jobs=jobs, policy=policy)
     _EXECUTORS.append(executor)
     try:
         yield executor

@@ -13,7 +13,8 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.core.results import ExperimentResult, Series
 
 __all__ = ["render_table", "render_series", "render_experiment",
-           "render_table1", "write_experiments_md", "format_si"]
+           "render_table1", "write_experiments_md", "format_si",
+           "collect_harness_failures", "render_failure_table"]
 
 
 def format_si(value: float, unit: str = "") -> str:
@@ -73,12 +74,66 @@ def render_experiment(result: ExperimentResult) -> str:
                 value = format_si(value)
             out.write(f"  {key}: {value}\n")
     if result.failures:
-        out.write("\nFailed points (fault injection):\n")
-        for key in sorted(result.failures):
-            info = result.failures[key]
-            detail = info.get("message") or info.get("error") or "failed"
-            out.write(f"  {key}: {detail}\n")
+        simulated = {k: v for k, v in result.failures.items()
+                     if not v.get("harness")}
+        harness = {k: v for k, v in result.failures.items()
+                   if v.get("harness")}
+        if simulated:
+            out.write("\nFailed points (fault injection):\n")
+            for key in sorted(simulated):
+                info = simulated[key]
+                detail = info.get("message") or info.get("error") or "failed"
+                out.write(f"  {key}: {detail}\n")
+        if harness:
+            # Harness-level losses (worker crash / point timeout with
+            # retries exhausted): the sweep is degraded and these points
+            # are holes in the series above, not simulation outcomes.
+            out.write("\nMissing points (harness failures, "
+                      "sweep degraded):\n")
+            for key in sorted(harness):
+                info = harness[key]
+                detail = info.get("message") or info.get("error") or "lost"
+                attempts = info.get("attempts")
+                suffix = f" [after {attempts} attempt(s)]" \
+                    if attempts is not None else ""
+                out.write(f"  {key}: [hole] {detail}{suffix}\n")
     return out.getvalue()
+
+
+def collect_harness_failures(results: Dict[str, object]) -> List[dict]:
+    """Flatten harness-level point failures out of ``{name: result}``.
+
+    Accepts plain :class:`ExperimentResult` values and the
+    ``multi_result`` dict-of-results shape alike.  Only failures marked
+    ``harness`` (worker crash / timeout, retries exhausted) are
+    returned — simulated-fault failures are expected experiment output
+    and do not degrade a campaign.
+    """
+    out: List[dict] = []
+    for result in results.values():
+        parts = result.values() if isinstance(result, dict) else [result]
+        for res in parts:
+            failures = getattr(res, "failures", None) or {}
+            for key in sorted(failures):
+                info = failures[key]
+                if not info.get("harness"):
+                    continue
+                out.append({
+                    "experiment": getattr(res, "name", "?"),
+                    "key": key,
+                    "error": info.get("error", "?"),
+                    "attempts": info.get("attempts", "?"),
+                    "message": info.get("message", ""),
+                })
+    return out
+
+
+def render_failure_table(failures: List[dict]) -> str:
+    """Per-point failure table printed when a campaign degrades."""
+    rows = [[f["experiment"], f["key"], f["error"], f["attempts"],
+             f["message"]] for f in failures]
+    return render_table(
+        ["experiment", "point", "error", "attempts", "message"], rows)
 
 
 def render_table1(result: ExperimentResult) -> str:

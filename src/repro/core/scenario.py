@@ -29,6 +29,9 @@ Format (all tables optional except ``[scenario]``)::
     jobs = 2                    # worker processes (0 = cpu count)
     journal = "campaign.jsonl"  # checkpoint journal path
     resume = false
+    point_timeout = 120.0       # wall-clock deadline per point (s)
+    point_retries = 2           # retries after a crash/timeout
+    keep_going = true           # degrade (vs abort) on exhaustion
 
     [output]
     report = "report.md"        # markdown record (like --out)
@@ -175,6 +178,9 @@ class Scenario:
     jobs: Optional[int] = None
     journal: Optional[str] = None
     resume: bool = False
+    point_timeout: Optional[float] = None
+    point_retries: Optional[int] = None
+    keep_going: Optional[bool] = None
     report: Optional[str] = None
     trace: Optional[str] = None
     metrics: Optional[str] = None
@@ -198,7 +204,9 @@ _SCHEMA: Dict[str, Dict[str, type | Tuple[type, ...]]] = {
                  "fast": bool, "title": str},
     "faults": {"specs": list, "seed": int, "timeout": (int, float),
                "max_retries": int},
-    "execution": {"jobs": int, "journal": str, "resume": bool},
+    "execution": {"jobs": int, "journal": str, "resume": bool,
+                  "point_timeout": (int, float), "point_retries": int,
+                  "keep_going": bool},
     "output": {"report": str, "trace": str, "metrics": str, "plot": bool},
 }
 
@@ -308,6 +316,17 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
         raise ScenarioError(
             f"{source}: [execution] resume = true requires journal")
 
+    point_timeout = execution.get("point_timeout")
+    if point_timeout is not None and point_timeout <= 0:
+        raise ScenarioError(
+            f"{source}: [execution] point_timeout must be > 0, got "
+            f"{point_timeout!r}")
+    point_retries = execution.get("point_retries")
+    if point_retries is not None and point_retries < 0:
+        raise ScenarioError(
+            f"{source}: [execution] point_retries must be >= 0, got "
+            f"{point_retries!r}")
+
     name = scen.get("name") or experiment
     timeout = faults.get("timeout")
     return Scenario(
@@ -323,6 +342,10 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
         jobs=execution.get("jobs"),
         journal=execution.get("journal"),
         resume=bool(execution.get("resume", False)),
+        point_timeout=float(point_timeout)
+        if point_timeout is not None else None,
+        point_retries=point_retries,
+        keep_going=execution.get("keep_going"),
         report=output.get("report"),
         trace=output.get("trace"),
         metrics=output.get("metrics"),

@@ -37,12 +37,14 @@ from repro.faults.plan import (
     CrashWorker, DegradedLink, FailSlowCore, FailStop, FaultPlan,
     MessageLoss, RegCacheFlush, parse_fault,
 )
-from repro.faults.reliability import ReliabilityConfig, TransportError
+from repro.faults.chaos import maybe_chaos
+from repro.faults.reliability import (ReliabilityConfig, TransportError,
+                                      backoff_delay)
 
 __all__ = [
     "FaultPlan", "FailSlowCore", "DegradedLink", "MessageLoss",
     "RegCacheFlush", "FailStop", "CrashWorker", "parse_fault",
-    "ReliabilityConfig", "TransportError",
+    "ReliabilityConfig", "TransportError", "backoff_delay", "maybe_chaos",
     "FaultInjector",
     "InstalledFaults", "install_faults", "clear_faults", "active_faults",
     "fault_context",

@@ -1,0 +1,120 @@
+"""Harness-level chaos injection for resilience tests and CI smoke runs.
+
+The faults package simulates failures *inside* the model (lossy links,
+fail-stop nodes).  This module injects failures into the harness
+itself — the worker process executing a sweep point — so the executor's
+timeout / retry / requeue machinery can be exercised end to end:
+
+* ``crash`` — the worker calls ``os._exit``, producing the same
+  ``BrokenProcessPool`` a segfault or OOM kill would;
+* ``hang`` — the worker sleeps past the point deadline, exercising the
+  timeout-and-kill path (or, with a long ``for=``, a stuck point).
+
+Chaos is configured through the ``REPRO_CHAOS`` environment variable so
+it crosses the ``fork`` into pool workers without any plumbing::
+
+    REPRO_CHAOS="crash:size=65536"              # _exit(1) on matching points
+    REPRO_CHAOS="crash:size=65536:once=/tmp/d"  # ...but only the first time
+    REPRO_CHAOS="hang:core4:for=30"             # sleep 30 s on matching points
+    REPRO_CHAOS="crash:a;hang:b:for=5"          # multiple directives
+
+Each ``;``-separated directive is ``kind:match[:opt=val,...]``.  A
+directive applies when *match* is a substring of ``experiment/key`` of
+the point about to run.  Options:
+
+``once=<dir>``
+    Fire at most once per (directive, point): a marker file named after
+    the directive and point is created in ``<dir>`` before the chaos
+    act, so the retried point runs clean.  This is how tests assert
+    that a crashed point's *retry* is byte-identical to an undisturbed
+    run.
+``for=<seconds>``
+    Hang duration (default 3600).
+``code=<int>``
+    Exit code for ``crash`` (default 1).
+
+:func:`maybe_chaos` is called by the executor's worker entry just
+before the point runs; with ``REPRO_CHAOS`` unset it is a no-op costing
+one environment lookup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["maybe_chaos", "parse_chaos"]
+
+ENV_VAR = "REPRO_CHAOS"
+
+
+def parse_chaos(raw: str) -> List[Tuple[str, str, dict]]:
+    """Parse a ``REPRO_CHAOS`` value into ``(kind, match, opts)`` triples."""
+    directives = []
+    for part in raw.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        fields = part.split(":")
+        if len(fields) < 2:
+            raise ValueError(
+                f"chaos directive {part!r} must be kind:match[:opt=val,...]")
+        kind, match = fields[0], fields[1]
+        if kind not in ("crash", "hang"):
+            raise ValueError(f"unknown chaos kind {kind!r} in {part!r}")
+        opts: dict = {}
+        for opt in ":".join(fields[2:]).split(","):
+            opt = opt.strip()
+            if not opt:
+                continue
+            if "=" not in opt:
+                raise ValueError(f"chaos option {opt!r} must be key=value")
+            key, value = opt.split("=", 1)
+            if key == "for":
+                opts["for"] = float(value)
+            elif key == "code":
+                opts["code"] = int(value)
+            elif key == "once":
+                opts["once"] = value
+            else:
+                raise ValueError(f"unknown chaos option {key!r} in {part!r}")
+        directives.append((kind, match, opts))
+    return directives
+
+
+def _once_marker(once_dir: str, kind: str, match: str, target: str) -> str:
+    digest = hashlib.sha256(
+        f"{kind}:{match}:{target}".encode()).hexdigest()[:24]
+    return os.path.join(once_dir, f"chaos-{digest}")
+
+
+def maybe_chaos(experiment: str, key: str) -> None:
+    """Apply any matching ``REPRO_CHAOS`` directive to the current point.
+
+    Called in the worker process right before a point executes.  A
+    ``crash`` directive never returns; a ``hang`` directive returns
+    after its sleep (by which time the parent has usually killed us).
+    """
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return
+    target = f"{experiment}/{key}"
+    for kind, match, opts in parse_chaos(raw):
+        if match not in target:
+            continue
+        once_dir = opts.get("once")
+        if once_dir is not None:
+            marker = _once_marker(once_dir, kind, match, target)
+            try:
+                # O_EXCL: winning the create means we fire; a retry (or
+                # a requeued sibling) finds the marker and runs clean.
+                fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                os.close(fd)
+            except FileExistsError:
+                continue
+        if kind == "crash":
+            os._exit(opts.get("code", 1))
+        elif kind == "hang":
+            time.sleep(opts.get("for", 3600.0))

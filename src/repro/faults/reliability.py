@@ -11,7 +11,26 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["ReliabilityConfig", "TransportError"]
+__all__ = ["ReliabilityConfig", "TransportError", "backoff_delay"]
+
+
+def backoff_delay(base: float, attempt: int, factor: float = 2.0,
+                  cap: Optional[float] = None, jitter: float = 0.0) -> float:
+    """Exponential-backoff delay for the *attempt*-th retry (>= 1).
+
+    The arithmetic (``base * factor ** max(0, attempt - 1)``, then the
+    cap) is the reliable transport's retransmit-timeout policy, shared
+    here so the sweep executor's point retries back off exactly like
+    simulated retransmissions do.  *jitter* in ``[0, 1)`` scales the
+    delay by ``1 + jitter`` — callers derive it deterministically (the
+    executor hashes the point seed) so retry schedules stay reproducible.
+    """
+    delay = base * factor ** max(0, attempt - 1)
+    if cap is not None:
+        delay = min(delay, cap)
+    if jitter:
+        delay *= 1.0 + jitter
+    return delay
 
 
 class TransportError(RuntimeError):
@@ -74,7 +93,5 @@ class ReliabilityConfig:
         base = (self.handshake_timeout_s
                 if rendezvous and self.handshake_timeout_s is not None
                 else self.timeout_s)
-        rto = base * self.backoff_factor ** max(0, n_timeouts - 1)
-        if self.max_backoff_s is not None:
-            rto = min(rto, self.max_backoff_s)
-        return rto
+        return backoff_delay(base, n_timeouts, self.backoff_factor,
+                             self.max_backoff_s)

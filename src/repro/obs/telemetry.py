@@ -161,6 +161,16 @@ class Telemetry:
                     flow.start_time, net.sim.now, args)
                 return
 
+    def on_invariant_check(self) -> None:
+        """One fluid-solver self-check pass ran (``--check-invariants``)."""
+        if self.registry is not None:
+            self.registry.counter("fluid.invariant_checks").inc()
+
+    def on_invariant_violation(self) -> None:
+        """A self-check failed; an ``InvariantViolation`` is being raised."""
+        if self.registry is not None:
+            self.registry.counter("fluid.invariant_violations").inc()
+
     def on_rates_changed(self, net, dirty_resources=None) -> None:
         """Rates were reassigned; sample wire-bandwidth counter tracks.
 

@@ -35,6 +35,7 @@ import heapq
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.obs import context as _obs_context
+from repro.sim import invariants as _inv
 from repro.sim.events import Event, Interrupt, Timeout
 
 __all__ = ["Simulator", "Process", "ScheduledHandle", "SimulationError"]
@@ -204,6 +205,10 @@ class Simulator:
             if handle.cancelled or gen != handle.generation:
                 continue
             handle.fired = True
+            if _inv.ENABLED and time < self._now:
+                raise _inv.InvariantViolation(
+                    f"event time moved backwards: popped {time!r} with "
+                    f"now={self._now!r} (heap corrupted)")
             self._now = time
             if _obs_context._ACTIVE is not None:
                 _obs_context._ACTIVE.on_sim_event()
@@ -233,6 +238,10 @@ class Simulator:
             if handle.cancelled or gen != handle.generation:
                 continue
             handle.fired = True
+            if _inv.ENABLED and time < self._now:
+                raise _inv.InvariantViolation(
+                    f"event time moved backwards: popped {time!r} with "
+                    f"now={self._now!r} (heap corrupted)")
             self._now = time
             if _obs_context._ACTIVE is not None:
                 _obs_context._ACTIVE.on_sim_event()

@@ -39,6 +39,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.obs import context as _obs_context
+from repro.sim import invariants as _inv
 from repro.sim.engine import ScheduledHandle, SimulationError, Simulator
 from repro.sim.events import Event
 
@@ -204,6 +205,7 @@ class FluidNetwork:
         # recomputes don't rebuild it from scratch.
         self._res_flows: Dict[Resource, Dict[Flow, None]] = {}
         self._next_seq = 0
+        self._n_solves = 0  # rate solves, for invariant-check sampling
 
     # -- public API -------------------------------------------------------
     @property
@@ -390,6 +392,8 @@ class FluidNetwork:
             pending_flows = []
             pending_res = []
             self._assign_rates(dirty, touched)
+            if _inv.ENABLED:
+                self._check_invariants(dirty)
         self._reschedule_completions()
         if _obs_context._ACTIVE is not None:
             _obs_context._ACTIVE.on_rates_changed(self, touched)
@@ -532,6 +536,85 @@ class FluidNetwork:
             left = avail[res] - flow.rate * usage
             avail[res] = left if left > 0.0 else 0.0
             res_flows[res].pop(flow, None)
+
+    # -- runtime self-checks (--check-invariants) --------------------------
+    def _component_of(self, flow: Optional[Flow] = None,
+                      resource: Optional[Resource] = None) -> str:
+        """Human-readable name of the connected component a culprit
+        flow/resource belongs to, for :class:`InvariantViolation`
+        diagnostics."""
+        comp = self._dirty_component(
+            (flow,) if flow is not None else (),
+            (resource,) if resource is not None else ())
+        labels = [f.label or "anon" for f in comp]
+        shown = ", ".join(labels[:6])
+        if len(labels) > 6:
+            shown += f", … +{len(labels) - 6} more"
+        return f"component[{len(labels)} flows: {shown}]"
+
+    def _check_invariants(self, dirty: List[Flow]) -> None:
+        """Verify the solver's bookkeeping after a rate solve.
+
+        Cheap checks run on every solve: per-flow usage caches agree
+        with the authoritative usage maps, rates are finite,
+        non-negative and demand-capped, and no resource's capacity is
+        exceeded (computed from :meth:`Flow.usage_on`, *not* the cache,
+        so a corrupted cache is caught by the first check rather than
+        masked).  Every ``SAMPLE_EVERY``-th solve additionally re-runs
+        progressive filling globally and cross-checks every active
+        flow's rate **bitwise** — the incremental dirty-component
+        invariant of DESIGN.md made executable.
+        """
+        self._n_solves += 1
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_invariant_check()
+        for flow in dirty:
+            expected = tuple(flow.usage_on(res) for res in flow.resources)
+            if flow._usages != expected:
+                self._violation(
+                    f"usage cache of flow {flow.label or 'anon'!r} is "
+                    f"corrupted: cached {flow._usages!r} != authoritative "
+                    f"{expected!r} in {self._component_of(flow=flow)}")
+            rate = flow.rate
+            if not math.isfinite(rate) or rate < 0.0:
+                self._violation(
+                    f"flow {flow.label or 'anon'!r} has invalid rate "
+                    f"{rate!r} in {self._component_of(flow=flow)}")
+            if rate > flow.demand * (1.0 + _REL_TOL):
+                self._violation(
+                    f"flow {flow.label or 'anon'!r} rate {rate!r} exceeds "
+                    f"its demand cap {flow.demand!r} in "
+                    f"{self._component_of(flow=flow)}")
+        seen_res: Set[Resource] = set()
+        for flow in dirty:
+            for res in flow.resources:
+                if res in seen_res:
+                    continue
+                seen_res.add(res)
+                used = sum(f.rate * f.usage_on(res)
+                           for f in self._res_flows.get(res, ()))
+                if used > res.capacity * (1.0 + _REL_TOL):
+                    self._violation(
+                        f"resource {res.name!r} over capacity: "
+                        f"{used!r} > {res.capacity!r} in "
+                        f"{self._component_of(resource=res)}")
+        if self._n_solves % _inv.SAMPLE_EVERY == 0 and self._flows:
+            snapshot = [(f, f.rate) for f in self._flows]
+            self._assign_rates(sorted(self._flows, key=lambda f: f._seq), {})
+            for flow, incremental in snapshot:
+                if flow.rate != incremental:
+                    globally = flow.rate
+                    flow.rate = incremental  # leave state as found
+                    self._violation(
+                        f"incremental solve diverged from global solve for "
+                        f"flow {flow.label or 'anon'!r}: component gave "
+                        f"{incremental!r}, from-scratch gave {globally!r} "
+                        f"in {self._component_of(flow=flow)}")
+
+    def _violation(self, message: str) -> None:
+        if _obs_context._ACTIVE is not None:
+            _obs_context._ACTIVE.on_invariant_violation()
+        raise _inv.InvariantViolation(message)
 
     def _reschedule_completions(self) -> None:
         """(Re)arm completion events, reusing heap entries lazily.

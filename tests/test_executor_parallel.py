@@ -15,8 +15,9 @@ import pytest
 
 from repro.cli import main, run_experiment
 from repro.core.campaign import CampaignJournal, SweepGuard
-from repro.core.executor import (PointSpec, SweepExecutor, build_env,
-                                 executor_context, point_fingerprint)
+from repro.core.executor import (ExecutionPolicy, PointSpec, SweepExecutor,
+                                 build_env, executor_context,
+                                 point_fingerprint)
 from repro.core.results import ExperimentResult
 from repro.faults.context import derive_point_seed
 
@@ -214,12 +215,14 @@ def test_point_exception_degrades_to_failure_at_any_jobs():
         assert guard.result.series["s"].x == [4.0]
 
 
-def test_worker_crash_raises_runtime_error():
+def test_worker_crash_raises_without_keep_going():
+    """keep_going=False restores the pre-self-healing abort-on-crash."""
     guard = _guard()
     spec = PointSpec(experiment="figX", key="k",
                      runner="tests.test_executor_parallel:_crash_runner",
                      params={})
-    with executor_context(2):
+    policy = ExecutionPolicy(point_retries=0, keep_going=False)
+    with executor_context(2, policy):
         with pytest.raises(RuntimeError, match="worker process died"):
             guard.run_specs([spec])
 

@@ -80,11 +80,83 @@ def test_minimal_scenario_defaults():
      "zap"),
     ("[scenario]\nexperiment = 'fig9'\n[faults]\nspecs = [3]\n",
      "specs[0]"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\npoint_timeout = 0\n",
+     "point_timeout"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\npoint_timeout = -2.5\n",
+     "point_timeout"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\n"
+     "point_timeout = '2m'\n", "point_timeout"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\npoint_retries = -1\n",
+     "point_retries"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\npoint_retries = true\n",
+     "point_retries"),
+    ("[scenario]\nexperiment = 'fig9'\n[execution]\nkeep_going = 1\n",
+     "keep_going"),
 ])
 def test_malformed_scenarios_name_the_field(text, needle):
     with pytest.raises(ScenarioError) as err:
         parse_scenario(text)
     assert needle in str(err.value)
+
+
+def test_execution_robustness_keys_parse():
+    scen = parse_scenario(
+        '[scenario]\nexperiment = "fig9"\n'
+        '[execution]\npoint_timeout = 120\npoint_retries = 3\n'
+        'keep_going = false\n')
+    assert scen.point_timeout == pytest.approx(120.0)
+    assert isinstance(scen.point_timeout, float)  # int coerced
+    assert scen.point_retries == 3
+    assert scen.keep_going is False
+    # Unset keys stay None so the CLI can tell "unset" from "0"/"off"
+    # when folding scenario values under explicit flags.
+    scen = parse_scenario('[scenario]\nexperiment = "fig9"\n')
+    assert scen.point_timeout is None
+    assert scen.point_retries is None
+    assert scen.keep_going is None
+
+
+def test_cli_flags_override_scenario_execution_keys(tmp_path, monkeypatch):
+    """CLI-over-scenario precedence for the robustness policy: explicit
+    flags win, scenario keys fill the gaps."""
+    from contextlib import contextmanager
+
+    import repro.core.executor as executor_mod
+
+    scenario = tmp_path / "s.toml"
+    scenario.write_text("""
+[scenario]
+experiment = "fig9"
+fast = true
+
+[params]
+sizes = [4]
+reps = 4
+
+[execution]
+jobs = 2
+point_timeout = 60
+point_retries = 5
+keep_going = false
+""")
+    captured = {}
+    real = executor_mod.executor_context
+
+    @contextmanager
+    def spy(jobs, policy=None):
+        captured["jobs"] = jobs
+        captured["policy"] = policy
+        with real(1) as ex:  # run serial underneath to keep this fast
+            yield ex
+
+    monkeypatch.setattr(executor_mod, "executor_context", spy)
+    assert main(["run", "--scenario", str(scenario),
+                 "--point-retries", "0", "--keep-going"]) == 0
+    assert captured["jobs"] == 2
+    policy = captured["policy"]
+    assert policy.point_retries == 0        # flag beats scenario's 5
+    assert policy.keep_going is True        # flag beats scenario's false
+    assert policy.point_timeout == pytest.approx(60.0)  # scenario fills
 
 
 def test_unreadable_file_is_a_scenario_error(tmp_path):
