@@ -6,6 +6,9 @@ Usage::
     python -m repro run fig4a [--spec henri] [--fast]
     python -m repro run all --fast --out EXPERIMENTS_RUN.md
     python -m repro run --scenario examples/scenario_fig1a_loss.toml
+    python -m repro run fig1a --fast --trials 5 --journal c.jsonl
+    python -m repro status c.jsonl
+    python -m repro report c.jsonl --compare other.jsonl -o report.html
 
 ``--fast`` substitutes reduced sweep parameters (fewer repetitions and
 points) so every figure finishes in seconds; omit it to regenerate the
@@ -137,6 +140,53 @@ def _bench(args) -> int:
     return 0
 
 
+def _status(args) -> int:
+    """Read-only campaign progress view over a journal (+ sidecar)."""
+    import os
+
+    from repro.core.measurer import read_status, render_status
+    if not os.path.exists(args.journal):
+        print(f"no journal at {args.journal}", file=sys.stderr)
+        return 2
+    print(render_status(read_status(args.journal)))
+    return 0
+
+
+def _report(args) -> int:
+    """Render a campaign journal into a self-contained HTML report."""
+    import os
+
+    from repro.analysis.stats import CampaignResults
+    from repro.core.htmlreport import (render_html_report,
+                                       validate_html_report)
+    for path in filter(None, (args.journal, args.compare)):
+        if not os.path.exists(path):
+            print(f"no journal at {path}", file=sys.stderr)
+            return 2
+    results = CampaignResults.from_journal(args.journal)
+    if not results.entries:
+        print(f"{args.journal}: no readable journal records",
+              file=sys.stderr)
+        return 2
+    compare = CampaignResults.from_journal(args.compare) \
+        if args.compare else None
+    text = render_html_report(results, compare=compare, title=args.title)
+    problems = validate_html_report(text)
+    if problems:
+        print(f"refusing to write {args.out}: rendered report is "
+              f"invalid ({len(problems)} problem(s)):", file=sys.stderr)
+        for p in problems[:10]:
+            print(f"  {p}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"wrote {args.out} ({len(text)} bytes, "
+          f"{len(results.experiments())} experiment(s)"
+          f"{', compared against ' + args.compare if args.compare else ''})",
+          file=sys.stderr)
+    return 0
+
+
 def _trace_summary(args) -> int:
     """Validate + summarise a Chrome-tracing JSON file."""
     from repro.obs.export import (render_trace_summary,
@@ -187,6 +237,8 @@ def _apply_scenario(args, parser):
     args.fast = args.fast or scenario.fast
     if args.jobs is None:
         args.jobs = scenario.jobs if scenario.jobs is not None else 1
+    if args.trials is None:
+        args.trials = scenario.trials
     args.out = args.out or scenario.report
     args.plot = args.plot or scenario.plot
     args.trace = args.trace or scenario.trace
@@ -247,6 +299,25 @@ def main(argv: Optional[list] = None) -> int:
         "trace-summary",
         help="validate + summarise a Chrome-tracing JSON (from --trace)")
     summary.add_argument("path", help="trace JSON file")
+    status = sub.add_parser(
+        "status", help="campaign progress from a journal: done/cached/"
+        "failed/pending counts and an ETA (read-only and lock-free — "
+        "safe against a live campaign at any --jobs level)")
+    status.add_argument("journal", help="campaign journal (JSON lines)")
+    report = sub.add_parser(
+        "report", help="render a campaign journal into a self-contained "
+        "HTML report: CI error bars per point, paper-vs-measured table, "
+        "attribution trend, failures")
+    report.add_argument("journal", help="campaign journal (JSON lines)")
+    report.add_argument("--compare", default=None, metavar="JOURNAL",
+                        help="second journal for an A/B section: "
+                        "two-sided Mann-Whitney U + Vargha-Delaney A12 "
+                        "per common sweep point")
+    report.add_argument("-o", "--out", default="report.html",
+                        help="output HTML path (default report.html)")
+    report.add_argument("--title", default=None,
+                        help="report title (default: derived from the "
+                        "journal name)")
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment", nargs="?", default=None,
                      help="experiment name (see `repro list`) or 'all'; "
@@ -265,6 +336,11 @@ def main(argv: Optional[list] = None) -> int:
                      "(0 = cpu count, default 1 = serial); seeded runs "
                      "are byte-identical at any level — see "
                      "docs/PARALLEL.md")
+    run.add_argument("--trials", type=int, default=None,
+                     help="seeded trials per sweep point (default 1); "
+                     "trial 0 is byte-identical to a plain run, later "
+                     "trials re-seed the simulation noise so reports "
+                     "carry bootstrap CIs (docs/OBSERVABILITY.md)")
     robust = run.add_argument_group(
         "execution robustness", "self-healing sweep execution: per-point "
         "deadlines, retry with backoff, crash requeue and degraded "
@@ -341,6 +417,12 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "trace-summary":
         return _trace_summary(args)
 
+    if args.command == "status":
+        return _status(args)
+
+    if args.command == "report":
+        return _report(args)
+
     if args.command == "list":
         print(registry.render_listing(long=args.long))
         return 0
@@ -376,10 +458,19 @@ def main(argv: Optional[list] = None) -> int:
         policy_kwargs["point_retries"] = args.point_retries
     if args.keep_going is not None:
         policy_kwargs["keep_going"] = args.keep_going
+    if args.trials is not None:
+        policy_kwargs["trials"] = args.trials
     try:
         policy = ExecutionPolicy(**policy_kwargs)
     except ValueError as err:
         parser.error(str(err))
+    if policy.trials > 1:
+        not_sweep = [n for n in names
+                     if not registry.get(n).journal_capable]
+        if not_sweep:
+            print(f"note: --trials only affects sweep experiments; "
+                  f"{', '.join(not_sweep)} run(s) once regardless",
+                  file=sys.stderr)
 
     from contextlib import ExitStack
     sections: Dict[str, str] = {}
@@ -399,9 +490,13 @@ def main(argv: Optional[list] = None) -> int:
         journal = None
         if args.journal:
             from repro.core.campaign import CampaignJournal
+            from repro.core.measurer import CampaignMeasurer
             journal = stack.enter_context(
                 CampaignJournal(args.journal, resume=args.resume))
-        if args.jobs != 1:
+            CampaignMeasurer.attach(journal)
+        if args.jobs != 1 or policy.trials > 1:
+            # trials ride on the executor policy, so a multi-trial run
+            # needs an installed executor even when it stays serial.
             from repro.core.executor import executor_context
             stack.enter_context(executor_context(args.jobs, policy))
         for name in names:

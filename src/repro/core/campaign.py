@@ -83,7 +83,12 @@ class CampaignJournal:
     def __init__(self, path, resume: bool = False):
         self.path = Path(path)
         self.resume = resume
-        self._entries: Dict[Tuple[str, str], dict] = {}
+        # Keyed (experiment, key, trial); pre-trial entries load as
+        # trial 0, so old journals resume into multi-trial campaigns.
+        self._entries: Dict[Tuple[str, str, int], dict] = {}
+        # Optional live-progress observer (see repro.core.measurer);
+        # attached by the CLI, consulted by SweepGuard.
+        self.measurer = None
         if resume and self.path.exists():
             self._load()
         if self.path.parent != Path(""):
@@ -112,18 +117,22 @@ class CampaignJournal:
                 if not line:
                     continue
                 entry = json.loads(line)
-                self._entries[(entry["experiment"], entry["key"])] = entry
+                self._entries[(entry["experiment"], entry["key"],
+                               int(entry.get("trial", 0)))] = entry
 
     # -- queries -----------------------------------------------------------
-    def lookup(self, experiment: str, key: str) -> Optional[dict]:
-        return self._entries.get((experiment, key))
+    def lookup(self, experiment: str, key: str,
+               trial: int = 0) -> Optional[dict]:
+        return self._entries.get((experiment, key, trial))
 
     def completed(self, experiment: str) -> List[str]:
-        return [k for (exp, k), e in self._entries.items()
+        return [k if not t else f"{k}#t{t}"
+                for (exp, k, t), e in self._entries.items()
                 if exp == experiment and e["status"] == "ok"]
 
     def failed(self, experiment: str) -> List[str]:
-        return [k for (exp, k), e in self._entries.items()
+        return [k if not t else f"{k}#t{t}"
+                for (exp, k, t), e in self._entries.items()
                 if exp == experiment and e["status"] != "ok"]
 
     # -- recording ---------------------------------------------------------
@@ -131,9 +140,14 @@ class CampaignJournal:
                series: Optional[dict] = None,
                failure: Optional[dict] = None,
                metrics: Optional[dict] = None,
-               fp: Optional[str] = None) -> None:
+               fp: Optional[str] = None,
+               trial: int = 0) -> None:
         entry: dict = {"experiment": experiment, "key": key,
                        "status": status}
+        if trial:
+            # Trial-0 lines deliberately omit the key: they must stay
+            # byte-identical to journals written before trials existed.
+            entry["trial"] = int(trial)
         if series:
             entry["series"] = series
         if failure:
@@ -142,7 +156,7 @@ class CampaignJournal:
             entry["metrics"] = metrics
         if fp:
             entry["fp"] = fp
-        self._entries[(experiment, key)] = entry
+        self._entries[(experiment, key, int(trial))] = entry
         self._fh.write(json.dumps(entry) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
@@ -221,23 +235,42 @@ class SweepGuard:
         so the resulting series, journal lines and telemetry are
         byte-identical at any parallelism level.
 
-        Returns ``{key: "replayed" | "ok" | "failed"}`` and stores the
-        same tallies in ``result.meta["sweep"]``.
+        With ``trials > 1`` on the executor's policy every point fans
+        out into N seeded trials, expanded *trial-major* (all trial-0
+        points first, then trial 1, ...) so a multi-trial journal's
+        prefix is exactly the single-trial journal.  Each trial is a
+        first-class journal record; the in-memory series get one
+        aggregated row per base point (median of the trial medians,
+        band = the envelope of the trial bands).
+
+        Returns ``{scope_key: "replayed" | "ok" | "failed"}`` (the
+        scope key is the point key, ``#tN``-tagged past trial 0) and
+        stores tallies in ``result.meta["sweep"]``.
         """
+        from dataclasses import replace
+
         from repro.core.executor import (SweepExecutor, active_executor,
                                          build_env, point_fingerprint)
         result = self.result
         statuses: Dict[str, str] = {}
+        specs = list(specs)
+        executor = active_executor()
+        if executor is None:
+            executor = SweepExecutor(jobs=1)
+        trials = getattr(executor.policy, "trials", 1)
+        expanded = [spec if t == 0 else replace(spec, trial=t)
+                    for t in range(trials) for spec in specs]
         # Decide replay-vs-run for every point up front, so the pending
         # subset can be submitted to the pool in one batch while cached
         # points still merge at their original sweep position.
         plan: List[Tuple[object, str, Optional[dict]]] = []
         n_pending = 0
-        for spec in specs:
+        for spec in expanded:
             fp = point_fingerprint(spec)
             cached = None
             if self.journal is not None and self.journal.resume:
-                entry = self.journal.lookup(result.name, spec.key)
+                entry = self.journal.lookup(result.name, spec.key,
+                                            spec.trial)
                 # Entries without a fingerprint predate the cache
                 # (run_point journals); trust them like run_point does.
                 if entry is not None and entry["status"] == "ok" \
@@ -245,48 +278,79 @@ class SweepGuard:
                     cached = entry
             plan.append((spec, fp, cached))
             n_pending += cached is None
-        executor = active_executor()
-        if executor is None:
-            executor = SweepExecutor(jobs=1)
         env = build_env() if n_pending else {}
         entries = executor.map_points(
             [(spec, env) for spec, _fp, cached in plan
              if cached is None]) if n_pending else iter(())
         from repro.obs.context import active_telemetry
         tele = active_telemetry()
+        measurer = self.journal.measurer \
+            if self.journal is not None else None
+        if measurer is not None:
+            measurer.begin_sweep(result.name, total=len(plan),
+                                 trials=trials,
+                                 cached=len(plan) - n_pending,
+                                 jobs=executor.jobs)
+        # (key, trial) -> completed ok entry; series merge is deferred
+        # until every trial of a point is in, then folded per base spec
+        # in sweep order — for trials == 1 that replays the exact same
+        # rows in the exact same order as the pre-trial code path.
+        collected: Dict[Tuple[str, int], dict] = {}
         for spec, fp, cached in plan:
+            label = spec.scope_key
             if cached is not None:
-                self._replay(cached)
-                self.replayed.append(spec.key)
-                statuses[spec.key] = "replayed"
+                collected[(spec.key, spec.trial)] = cached
+                self.replayed.append(label)
+                statuses[label] = "replayed"
+                if measurer is not None:
+                    measurer.on_point(result.name, spec.key, spec.trial,
+                                      "replayed", None,
+                                      cached.get("metrics"))
                 continue
             entry = next(entries)
+            wall = entry.pop("wall", None)
             # Fold the point's telemetry in before touching the journal
             # so trace/metrics state is consistent at every record.
             if tele is not None:
                 tele.absorb_point(entry.get("obs") or {},
                                   entry.get("metrics"))
             if entry["status"] == "ok":
-                self._replay(entry)
-                statuses[spec.key] = "ok"
+                collected[(spec.key, spec.trial)] = entry
+                statuses[label] = "ok"
                 if self.journal is not None:
                     self.journal.record(result.name, spec.key, "ok",
                                         series=entry.get("series"),
                                         metrics=entry.get("metrics"),
-                                        fp=fp)
+                                        fp=fp, trial=spec.trial)
             else:
                 failure = entry["failure"]
                 logger.warning("sweep point %s/%s failed: %s",
-                               result.name, spec.key,
+                               result.name, label,
                                failure.get("message", failure.get("error")))
-                result.failures[spec.key] = failure
-                self.failed.append(spec.key)
-                statuses[spec.key] = "failed"
+                result.failures[label] = failure
+                self.failed.append(label)
+                statuses[label] = "failed"
                 if self.journal is not None:
                     self.journal.record(result.name, spec.key, "failed",
-                                        failure=failure, fp=fp)
-        result.meta["sweep"] = {
-            "points": len(plan),
+                                        failure=failure, fp=fp,
+                                        trial=spec.trial)
+            if measurer is not None:
+                measurer.on_point(result.name, spec.key, spec.trial,
+                                  statuses[label], wall,
+                                  entry.get("metrics"))
+        for spec in specs:
+            done = [collected[(spec.key, t)] for t in range(trials)
+                    if (spec.key, t) in collected]
+            if not done:
+                continue
+            if trials == 1:
+                self._replay(done[0])
+            else:
+                from repro.analysis.stats import aggregate_trial_series
+                self._replay({"series": aggregate_trial_series(
+                    [e.get("series", {}) for e in done])})
+        sweep: dict = {
+            "points": len(specs),
             "replayed": len(plan) - n_pending,
             "failed": len([s for s in statuses.values() if s == "failed"]),
             # Harness-level failures (worker crash / timeout, retries
@@ -297,6 +361,10 @@ class SweepGuard:
                              if s == "failed"
                              and result.failures.get(key, {}).get("harness")]),
         }
+        if trials > 1:
+            sweep["trials"] = trials
+            sweep["executed"] = len(plan)
+        result.meta["sweep"] = sweep
         return statuses
 
     # -- internals ---------------------------------------------------------

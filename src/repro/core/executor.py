@@ -102,6 +102,9 @@ class ExecutionPolicy:
     backoff_base_s: float = 0.5
     backoff_factor: float = 2.0
     backoff_cap_s: float = 30.0
+    # Multi-seed trials: every sweep point fans out into ``trials``
+    # seeded repetitions (consumed by ``SweepGuard.run_specs``).
+    trials: int = 1
 
     def __post_init__(self) -> None:
         if self.point_timeout is not None and self.point_timeout <= 0:
@@ -110,6 +113,8 @@ class ExecutionPolicy:
             raise ValueError("point_retries must be >= 0")
         if self.backoff_base_s < 0:
             raise ValueError("backoff_base_s must be >= 0")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -120,12 +125,24 @@ class PointSpec:
     taking the ``params`` dict and returning ``{series_key: [row, ...]}``
     where each row is ``[x, median, p10, p90]`` — exactly the shape the
     campaign journal stores and replays.
+
+    ``trial`` is the multi-seed repetition index.  Trial 0 executes
+    exactly as a pre-trial point did (same scope, same fingerprint, no
+    extra ambient state), so ``--trials 1`` campaigns stay
+    byte-identical; trial >= 1 runs under a derived trial seed and a
+    per-trial point scope.
     """
 
     experiment: str
     key: str
     runner: str
     params: Dict[str, object] = field(default_factory=dict)
+    trial: int = 0
+
+    @property
+    def scope_key(self) -> str:
+        """The journal/scope label: the key, trial-tagged past trial 0."""
+        return self.key if self.trial == 0 else f"{self.key}#t{self.trial}"
 
 
 # -- row helpers (runners build journal-shaped rows) ----------------------
@@ -149,6 +166,7 @@ def value_row(x: float, value: float) -> List[float]:
 _NON_SEMANTIC = {
     "cli.py", "core/report.py", "core/plotting.py", "core/record.py",
     "core/registry.py", "core/scenario.py", "obs/export.py",
+    "core/measurer.py", "core/htmlreport.py",
 }
 
 _CODE_VERSION: Optional[str] = None
@@ -205,11 +223,16 @@ def point_fingerprint(spec: PointSpec) -> str:
     The ambient fault plan and seeds derived from it are deliberately
     not part of the hash — resuming a campaign under a different (or
     no) fault plan replays completed points (see module docstring).
+
+    The trial index enters the hash only past trial 0, so trial-0
+    fingerprints are stable against pre-trial journals (cache fp
+    stability) while each extra trial caches independently.
     """
-    blob = json.dumps(
-        {"runner": spec.runner, "key": spec.key,
-         "params": _canon(spec.params), "code": code_version()},
-        sort_keys=True)
+    payload = {"runner": spec.runner, "key": spec.key,
+               "params": _canon(spec.params), "code": code_version()}
+    if spec.trial:
+        payload["trial"] = spec.trial
+    blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
@@ -271,9 +294,11 @@ def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
     """
     spec, env = task
     from repro.faults.chaos import maybe_chaos
-    from repro.faults.context import point_scope
-    maybe_chaos(spec.experiment, spec.key)
+    from repro.faults.context import (derive_point_seed, point_scope,
+                                      trial_scope)
+    maybe_chaos(spec.experiment, spec.scope_key)
     entry: dict = {"key": spec.key}
+    t0 = time.perf_counter()
     with ExitStack() as stack:
         fault_env = env.get("fault_plan")
         if fault_env is not None:
@@ -295,7 +320,15 @@ def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
         if inv_env is not None:
             from repro.sim.invariants import invariant_checks
             stack.enter_context(invariant_checks(inv_env["sample"]))
-        stack.enter_context(point_scope(spec.experiment, spec.key))
+        # The point scope keys fault-injector seed derivation; the
+        # trial-tagged key gives every trial its own injection draw.
+        # Trial >= 1 additionally installs a derived trial seed so the
+        # cluster's measurement-noise RNG varies per trial; trial 0
+        # installs nothing and stays byte-identical to a pre-trial run.
+        stack.enter_context(point_scope(spec.experiment, spec.scope_key))
+        if spec.trial:
+            stack.enter_context(trial_scope(derive_point_seed(
+                spec.trial, spec.experiment, spec.key)))
         try:
             rows = resolve_runner(spec.runner)(dict(spec.params))
         except Exception as err:
@@ -308,6 +341,10 @@ def _execute_point(task: Tuple[PointSpec, dict]) -> dict:
             if tele.registry is not None:
                 entry["metrics"] = tele.registry.delta({})
             entry["obs"] = tele.point_payload()
+    # Wall-clock cost of the point, for the live measurer's ETA only.
+    # The guard pops it before journaling — it must never reach an
+    # artifact, or byte-identity across machines/runs would break.
+    entry["wall"] = time.perf_counter() - t0
     return entry
 
 
@@ -318,6 +355,7 @@ def _worker_init() -> None:
     from repro.faults import context as fault_ctx
     fault_ctx._STACK.clear()          # noqa: SLF001
     fault_ctx._POINT_SCOPE.clear()    # noqa: SLF001
+    fault_ctx._TRIAL_SEEDS.clear()    # noqa: SLF001
     from repro.obs import context as obs_ctx
     obs_ctx._STACK.clear()            # noqa: SLF001
     obs_ctx._ACTIVE = None            # noqa: SLF001

@@ -1,0 +1,230 @@
+"""Incremental campaign measurer: live progress + running aggregates.
+
+fuzzbench splits experiment execution into a dispatcher (runs trials)
+and a measurer (folds results into analysis-ready aggregates *as they
+land*, not post-hoc).  This module is the measurer half for campaign
+journals: the CLI attaches a :class:`CampaignMeasurer` to the journal,
+``SweepGuard.run_specs`` calls :meth:`begin_sweep` / :meth:`on_point`
+as records land, and the measurer
+
+* folds every per-point metrics delta into a running
+  :class:`~repro.obs.metrics.MetricsRegistry` (so mid-campaign metric
+  aggregates exist without re-reading the journal);
+* tracks per-experiment progress (done / replayed / failed counts and
+  mean observed point duration → a pending-work ETA);
+* mirrors that state into an atomically-replaced JSON *sidecar* next to
+  the journal (``<journal>.progress.json``), which ``repro status``
+  reads without touching the journal's ``flock``.
+
+``repro status`` itself (:func:`read_status` / :func:`render_status`)
+works on the journal alone too — the sidecar only adds pending/ETA
+information a finished journal cannot carry.  Journal reads go through
+the tolerant :func:`~repro.analysis.stats.read_journal_entries`, so a
+*live* journal (exclusively flocked by the campaign process, possibly
+mid-write under ``--jobs N``) is safe to inspect: the advisory lock is
+never requested and a half-written trailing line is skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.stats import read_journal_entries
+
+__all__ = ["CampaignMeasurer", "sidecar_path", "read_status",
+           "render_status"]
+
+
+def sidecar_path(journal_path) -> Path:
+    """The progress sidecar path for a journal."""
+    return Path(f"{journal_path}.progress.json")
+
+
+class CampaignMeasurer:
+    """Folds per-point deltas into running aggregates as records land."""
+
+    def __init__(self, journal_path, sidecar: bool = True):
+        from repro.obs.metrics import MetricsRegistry
+        self.path = Path(journal_path)
+        self.sidecar = sidecar_path(journal_path) if sidecar else None
+        self.registry = MetricsRegistry()
+        # experiment -> running tallies (insertion order = sweep order)
+        self._sweeps: Dict[str, dict] = {}
+
+    @classmethod
+    def attach(cls, journal, sidecar: bool = True) -> "CampaignMeasurer":
+        """Attach a measurer to a :class:`CampaignJournal`."""
+        measurer = cls(journal.path, sidecar=sidecar)
+        journal.measurer = measurer
+        return measurer
+
+    # -- hooks called by SweepGuard.run_specs ------------------------------
+    def begin_sweep(self, experiment: str, total: int, trials: int,
+                    cached: int, jobs: int) -> None:
+        self._sweeps[experiment] = {
+            "total": total, "trials": trials, "cached": cached,
+            "jobs": max(1, jobs), "done": 0, "replayed": 0,
+            "failed": 0, "wall_sum": 0.0, "wall_n": 0,
+        }
+        self._write_sidecar()
+
+    def on_point(self, experiment: str, key: str, trial: int,
+                 status: str, wall_s: Optional[float],
+                 metrics: Optional[dict]) -> None:
+        sweep = self._sweeps.get(experiment)
+        if sweep is None:  # run_point legacy path: no begin_sweep
+            sweep = self._sweeps.setdefault(experiment, {
+                "total": None, "trials": 1, "cached": 0, "jobs": 1,
+                "done": 0, "replayed": 0, "failed": 0,
+                "wall_sum": 0.0, "wall_n": 0})
+        if status == "failed":
+            sweep["failed"] += 1
+        elif status == "replayed":
+            sweep["replayed"] += 1
+        else:
+            sweep["done"] += 1
+        if wall_s is not None:
+            sweep["wall_sum"] += wall_s
+            sweep["wall_n"] += 1
+        if metrics:
+            self.registry.merge_delta(metrics)
+        self._write_sidecar()
+
+    # -- derived views ------------------------------------------------------
+    def pending(self, experiment: str) -> Optional[int]:
+        sweep = self._sweeps.get(experiment)
+        if sweep is None or sweep["total"] is None:
+            return None
+        processed = sweep["done"] + sweep["replayed"] + sweep["failed"]
+        return max(0, sweep["total"] - processed)
+
+    def eta_seconds(self, experiment: str) -> Optional[float]:
+        """Pending work x mean observed point duration / pool width."""
+        sweep = self._sweeps.get(experiment)
+        pending = self.pending(experiment)
+        if sweep is None or pending is None or not sweep["wall_n"]:
+            return None
+        mean = sweep["wall_sum"] / sweep["wall_n"]
+        return pending * mean / sweep["jobs"]
+
+    def progress(self) -> dict:
+        """JSON-able snapshot, the sidecar document."""
+        experiments = {}
+        all_done = True
+        for name, sweep in self._sweeps.items():
+            pending = self.pending(name)
+            eta = self.eta_seconds(name)
+            mean = (sweep["wall_sum"] / sweep["wall_n"]
+                    if sweep["wall_n"] else None)
+            if pending is None or pending > 0:
+                all_done = False
+            experiments[name] = {
+                "total": sweep["total"], "trials": sweep["trials"],
+                "jobs": sweep["jobs"], "done": sweep["done"],
+                "replayed": sweep["replayed"], "failed": sweep["failed"],
+                "pending": pending,
+                "mean_point_s": round(mean, 6) if mean is not None
+                else None,
+                "eta_s": round(eta, 3) if eta is not None else None,
+            }
+        return {"journal": str(self.path),
+                "state": "complete" if experiments and all_done
+                else "running",
+                "experiments": experiments}
+
+    def _write_sidecar(self) -> None:
+        """Atomic replace; no fsync — the sidecar is advisory state and
+        must never slow the per-record journal path down."""
+        if self.sidecar is None:
+            return
+        tmp = self.sidecar.with_name(self.sidecar.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(self.progress(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, self.sidecar)
+        except OSError:  # pragma: no cover - read-only dir etc.
+            pass
+
+
+# ---------------------------------------------------------------------------
+# repro status: read-only view over journal + sidecar
+# ---------------------------------------------------------------------------
+
+def read_status(journal_path) -> dict:
+    """Campaign status from the journal (+ sidecar when present).
+
+    Read-only and lock-free: safe against a campaign currently holding
+    the journal's exclusive flock, at any ``--jobs`` level.
+    """
+    entries = read_journal_entries(journal_path)
+    per: Dict[str, dict] = {}
+    for e in entries:
+        exp = per.setdefault(e["experiment"], {
+            "records": 0, "ok": 0, "failed": 0, "trials": 1,
+            "points": set()})
+        exp["records"] += 1
+        trial = int(e.get("trial", 0))
+        exp["trials"] = max(exp["trials"], trial + 1)
+        exp["points"].add(e["key"])
+        if e.get("status") == "ok":
+            exp["ok"] += 1
+        else:
+            exp["failed"] += 1
+    progress = None
+    sidecar = sidecar_path(journal_path)
+    if sidecar.exists():
+        try:
+            with open(sidecar, "r", encoding="utf-8") as fh:
+                progress = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            progress = None
+    experiments: Dict[str, dict] = {}
+    for name, exp in per.items():
+        experiments[name] = {
+            "records": exp["records"], "ok": exp["ok"],
+            "failed": exp["failed"], "trials": exp["trials"],
+            "points": len(exp["points"]),
+            "cached": None, "pending": None, "eta_s": None,
+        }
+    if progress:
+        for name, info in progress.get("experiments", {}).items():
+            row = experiments.setdefault(name, {
+                "records": 0, "ok": 0, "failed": 0, "trials": 1,
+                "points": 0, "cached": None, "pending": None,
+                "eta_s": None})
+            row["trials"] = max(row["trials"], info.get("trials") or 1)
+            row["cached"] = info.get("replayed")
+            row["pending"] = info.get("pending")
+            row["eta_s"] = info.get("eta_s")
+    return {"journal": str(journal_path),
+            "records": len(entries),
+            "state": (progress or {}).get("state",
+                                          "complete" if entries else "?"),
+            "experiments": experiments}
+
+
+def render_status(status: dict) -> str:
+    """Stable, grep-friendly status view (asserted by CI)."""
+    from repro.core.report import render_table
+    lines = [f"campaign {status['journal']}: {status['records']} "
+             f"record(s), {len(status['experiments'])} experiment(s) "
+             f"[{status['state']}]"]
+    rows: List[list] = []
+    for name, row in status["experiments"].items():
+
+        def _fmt(v, suffix=""):
+            return "-" if v is None else f"{v}{suffix}"
+
+        eta = row["eta_s"]
+        rows.append([name, row["trials"], row["points"], row["ok"],
+                     _fmt(row["cached"]), row["failed"],
+                     _fmt(row["pending"]),
+                     "-" if eta is None else f"~{eta:.1f}s"])
+    lines.append(render_table(
+        ["experiment", "trials", "points", "done", "cached", "failed",
+         "pending", "eta"], rows))
+    return "\n".join(lines)

@@ -62,6 +62,14 @@ def render_experiment(result: ExperimentResult) -> str:
     """Full text report of one experiment."""
     out = io.StringIO()
     out.write(f"== {result.name}: {result.title} ==\n")
+    # Multi-seed campaigns annotate the header; single-trial output is
+    # byte-identical to the pre-trial renderer.
+    trials = (result.meta.get("sweep") or {}).get("trials", 1) \
+        if getattr(result, "meta", None) else 1
+    if trials > 1:
+        out.write(f"({trials} seeded trials per point; medians are "
+                  f"taken over the per-trial medians, bands are the "
+                  f"trial envelope)\n")
     for key in sorted(result.series):
         out.write("\n")
         out.write(render_series(result.series[key]))

@@ -27,6 +27,7 @@ Format (all tables optional except ``[scenario]``)::
 
     [execution]
     jobs = 2                    # worker processes (0 = cpu count)
+    trials = 3                  # seeded trials per sweep point
     journal = "campaign.jsonl"  # checkpoint journal path
     resume = false
     point_timeout = 120.0       # wall-clock deadline per point (s)
@@ -176,6 +177,7 @@ class Scenario:
     timeout: Optional[float] = None
     max_retries: Optional[int] = None
     jobs: Optional[int] = None
+    trials: Optional[int] = None
     journal: Optional[str] = None
     resume: bool = False
     point_timeout: Optional[float] = None
@@ -204,9 +206,9 @@ _SCHEMA: Dict[str, Dict[str, type | Tuple[type, ...]]] = {
                  "fast": bool, "title": str},
     "faults": {"specs": list, "seed": int, "timeout": (int, float),
                "max_retries": int},
-    "execution": {"jobs": int, "journal": str, "resume": bool,
-                  "point_timeout": (int, float), "point_retries": int,
-                  "keep_going": bool},
+    "execution": {"jobs": int, "trials": int, "journal": str,
+                  "resume": bool, "point_timeout": (int, float),
+                  "point_retries": int, "keep_going": bool},
     "output": {"report": str, "trace": str, "metrics": str, "plot": bool},
 }
 
@@ -326,6 +328,10 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
         raise ScenarioError(
             f"{source}: [execution] point_retries must be >= 0, got "
             f"{point_retries!r}")
+    trials = execution.get("trials")
+    if trials is not None and trials < 1:
+        raise ScenarioError(
+            f"{source}: [execution] trials must be >= 1, got {trials!r}")
 
     name = scen.get("name") or experiment
     timeout = faults.get("timeout")
@@ -340,6 +346,7 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
         timeout=float(timeout) if timeout is not None else None,
         max_retries=faults.get("max_retries"),
         jobs=execution.get("jobs"),
+        trials=trials,
         journal=execution.get("journal"),
         resume=bool(execution.get("resume", False)),
         point_timeout=float(point_timeout)

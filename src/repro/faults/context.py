@@ -20,7 +20,8 @@ from typing import List, Optional, Tuple
 
 __all__ = ["InstalledFaults", "install_faults", "clear_faults",
            "active_faults", "fault_context",
-           "derive_point_seed", "point_scope", "active_point_scope"]
+           "derive_point_seed", "point_scope", "active_point_scope",
+           "trial_scope", "active_trial_seed"]
 
 
 @dataclass(frozen=True)
@@ -109,3 +110,36 @@ def point_scope(experiment: str, key: str):
 def active_point_scope() -> Optional[Tuple[str, str]]:
     """The innermost ``(experiment, key)`` point scope, or ``None``."""
     return _POINT_SCOPE[-1] if _POINT_SCOPE else None
+
+
+# ---------------------------------------------------------------------------
+# Multi-seed trials
+# ---------------------------------------------------------------------------
+#
+# A multi-trial campaign re-runs every sweep point under a different
+# measurement-noise seed.  Experiments construct their clusters with the
+# default seed, so — like faults — the trial seed travels ambiently:
+# the executor installs ``trial_scope(seed)`` around trial >= 1 points
+# and every cluster built with the *default* seed picks it up.  Trial 0
+# installs nothing, keeping single-trial runs byte-identical.
+
+_TRIAL_SEEDS: List[int] = []
+
+
+@contextmanager
+def trial_scope(seed: int):
+    """Scope a derived trial seed for clusters built inside the block."""
+    seed = int(seed)
+    _TRIAL_SEEDS.append(seed)
+    try:
+        yield seed
+    finally:
+        if _TRIAL_SEEDS and _TRIAL_SEEDS[-1] == seed:
+            _TRIAL_SEEDS.pop()
+        elif seed in _TRIAL_SEEDS:  # pragma: no cover - unbalanced
+            _TRIAL_SEEDS.remove(seed)
+
+
+def active_trial_seed() -> Optional[int]:
+    """The innermost installed trial seed, or ``None`` (= trial 0)."""
+    return _TRIAL_SEEDS[-1] if _TRIAL_SEEDS else None

@@ -303,6 +303,16 @@ class Cluster:
         self.spec = spec
         self.sim = Simulator()
         self.net = FluidNetwork(self.sim)
+        # Multi-seed trials: a cluster built with the *default* seed
+        # inside a trial scope takes the derived trial seed instead, so
+        # measurement noise varies across trials without threading a
+        # seed through every experiment signature.  An explicit seed
+        # always wins; outside a trial scope nothing changes.
+        if seed == 0:
+            from repro.faults.context import active_trial_seed
+            trial_seed = active_trial_seed()
+            if trial_seed is not None:
+                seed = trial_seed
         self.rng = RandomStreams(seed)
         self.machines: List[Machine] = [
             Machine(self.sim, self.net, spec, node_id=i,

@@ -16,10 +16,22 @@ swamp the interference signal.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 __all__ = ["TransferSample", "attribution_report", "render_attribution"]
+
+#: ``insufficient_data`` reasons a report carries when the correlation
+#: is undefined (instead of a bare None or a NaN leaking into exports).
+INSUFFICIENT_REASONS = {
+    "no_active_transfers":
+        "no transfer overlapped any compute cycles",
+    "too_few_active_transfers":
+        "fewer than 2 transfers overlapped compute cycles",
+    "zero_variance":
+        "stall fractions or bandwidths are constant across transfers",
+}
 
 
 @dataclass
@@ -60,6 +72,8 @@ def _pearson(xs: List[float], ys: List[float]) -> Optional[float]:
     n = len(xs)
     if n < 2:
         return None
+    if not all(map(math.isfinite, xs)) or not all(map(math.isfinite, ys)):
+        return None
     mx = sum(xs) / n
     my = sum(ys) / n
     sxy = sum((x - mx) * (y - my) for x, y in zip(xs, ys))
@@ -67,7 +81,8 @@ def _pearson(xs: List[float], ys: List[float]) -> Optional[float]:
     syy = sum((y - my) ** 2 for y in ys)
     if sxx <= 0 or syy <= 0:
         return None
-    return sxy / (sxx * syy) ** 0.5
+    r = sxy / (sxx * syy) ** 0.5
+    return r if math.isfinite(r) else None
 
 
 def attribution_report(samples: List[TransferSample],
@@ -79,11 +94,23 @@ def attribution_report(samples: List[TransferSample],
     paper's trend predicts to be negative (more stalls → less
     bandwidth).  Transfers that overlapped no compute cycles at all are
     excluded from the correlation but counted in ``quiet_transfers``.
+
+    Degenerate inputs never produce a NaN: non-finite samples are
+    dropped up front, and whenever the correlation is undefined (fewer
+    than 2 active transfers, or zero variance) the report instead
+    carries a structured ``insufficient_data`` reason (a key of
+    :data:`INSUFFICIENT_REASONS`).
     """
-    samples = [s for s in samples if s.duration > 0 and s.size > 0]
+    samples = [s for s in samples
+               if s.duration > 0 and s.size > 0
+               and math.isfinite(s.duration)
+               and math.isfinite(s.bandwidth)
+               and math.isfinite(s.mem_stall)
+               and math.isfinite(s.busy)]
     if not samples:
         return {"transfers": 0, "correlation": None, "bins": [],
-                "quiet_transfers": 0}
+                "quiet_transfers": 0,
+                "insufficient_data": "no_active_transfers"}
 
     # Normalise bandwidth within same-size groups: 1.0 = the best this
     # message size achieved anywhere in the run.
@@ -99,6 +126,14 @@ def attribution_report(samples: List[TransferSample],
 
     corr = _pearson([s.stall_fraction for s, _ in active],
                     [nb for _, nb in active]) if active else None
+    reason = None
+    if corr is None:
+        if not active:
+            reason = "no_active_transfers"
+        elif len(active) < 2:
+            reason = "too_few_active_transfers"
+        else:
+            reason = "zero_variance"
 
     # Fig-10-style table: bin by stall fraction, report mean normalised
     # bandwidth per bin.
@@ -128,13 +163,18 @@ def attribution_report(samples: List[TransferSample],
         })
 
     retrans = sum(s.retries for s in samples)
-    return {
+    report: Dict[str, object] = {
         "transfers": len(samples),
         "quiet_transfers": quiet,
         "retransmitted": retrans,
         "correlation": round(corr, 6) if corr is not None else None,
         "bins": bins,
     }
+    # Only present on degenerate inputs: healthy exports keep their
+    # exact pre-existing key set (byte-identity).
+    if reason is not None:
+        report["insufficient_data"] = reason
+    return report
 
 
 def render_attribution(report: Dict[str, object]) -> str:
@@ -145,7 +185,12 @@ def render_attribution(report: Dict[str, object]) -> str:
              f"{report.get('retransmitted', 0)} retransmissions)"]
     corr = report.get("correlation")
     if corr is None:
-        lines.append("  correlation: n/a (too few active transfers)")
+        reason = report.get("insufficient_data",
+                            "too_few_active_transfers")
+        detail = INSUFFICIENT_REASONS.get(reason,
+                                          "too few active transfers")
+        lines.append(f"  correlation: n/a — insufficient data "
+                     f"({detail})")
     else:
         trend = "matches Fig 10 (stalls depress bandwidth)" if corr < 0 \
             else "does NOT match Fig 10"

@@ -20,7 +20,7 @@ import json
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
-           "metric_key", "parse_metric_key"]
+           "metric_key", "parse_metric_key", "bucket_quantiles"]
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
@@ -97,6 +97,39 @@ class Gauge:
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
     m * 10.0 ** e for e in range(-6, 3) for m in (1.0, 2.5, 5.0))
 
+QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def bucket_quantiles(bounds, counts, count,
+                     qs: Tuple[float, ...] = QUANTILES
+                     ) -> Dict[str, float]:
+    """Bucket-edge interpolated quantile estimates (p50/p95/p99).
+
+    Linear interpolation inside the bucket holding the target rank;
+    the lower edge of the first bucket is 0 (all observed quantities
+    are non-negative) and ranks in the overflow bucket clamp to the
+    last bound — an estimate, exactly as precise as the bucket layout.
+    """
+    if not count or not bounds:
+        return {f"p{int(q * 100)}": 0.0 for q in qs}
+    out: Dict[str, float] = {}
+    for q in qs:
+        target = q * count
+        cum = 0.0
+        est = bounds[-1]
+        for i, n in enumerate(counts):
+            if not n:
+                continue
+            prev_cum = cum
+            cum += n
+            if cum >= target:
+                lo = bounds[i - 1] if i > 0 else 0.0
+                hi = bounds[i] if i < len(bounds) else bounds[-1]
+                est = lo + (hi - lo) * (target - prev_cum) / n
+                break
+        out[f"p{int(q * 100)}"] = est
+    return out
+
 
 class Histogram:
     """Fixed-bucket histogram with sum and count.
@@ -127,7 +160,9 @@ class Histogram:
 
     def to_state(self) -> Dict[str, object]:
         return {"sum": self.sum, "count": self.count,
-                "buckets": list(self.counts)}
+                "buckets": list(self.counts),
+                "quantiles": bucket_quantiles(self.bounds, self.counts,
+                                              self.count)}
 
 
 class MetricsRegistry:
@@ -200,11 +235,19 @@ class MetricsRegistry:
                 pv = prev["value"]
                 dcount = value["count"] - pv["count"]
                 if dcount:
+                    dbuckets = [a - b for a, b in
+                                zip(value["buckets"], pv["buckets"])]
+                    inst = self._instruments.get(parse_metric_key(key))
                     out[key] = {"type": kind, "value": {
                         "sum": value["sum"] - pv["sum"],
                         "count": dcount,
-                        "buckets": [a - b for a, b in
-                                    zip(value["buckets"], pv["buckets"])],
+                        "buckets": dbuckets,
+                        # Quantiles of *this delta's* observations —
+                        # merge_delta ignores them (it re-derives from
+                        # the merged buckets).
+                        "quantiles": bucket_quantiles(
+                            inst.bounds if inst is not None else (),
+                            dbuckets, dcount),
                     }}
             else:  # gauge
                 out[key] = entry

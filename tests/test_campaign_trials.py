@@ -1,0 +1,177 @@
+"""Multi-seed trial campaigns: journal shape, determinism, rendering.
+
+The trial contract (docs/OBSERVABILITY.md "Multi-seed statistics"):
+``--trials N`` fans every sweep point into N seeded trials journaled
+trial-major, trial 0 stays byte-identical to a plain run, trials
+compose with resume/caching/``--jobs``, and failed trials surface in
+both the text report and the HTML report.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import CampaignJournal
+from repro.core.executor import (ExecutionPolicy, PointSpec,
+                                 executor_context, point_fingerprint)
+from repro.core.experiments import fig1a
+
+KW = dict(sizes=[4, 64], reps=3)
+
+
+def _sha(path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def _run(tmp_path, tag, trials, jobs=1, resume=False):
+    path = tmp_path / f"{tag}.jsonl"
+    with CampaignJournal(path, resume=resume) as journal:
+        with executor_context(jobs, ExecutionPolicy(trials=trials)):
+            result = fig1a(journal=journal, **KW)
+    return result, path
+
+
+def test_trials_journal_trial_major(tmp_path):
+    result, path = _run(tmp_path, "t3", trials=3)
+    lines = [json.loads(l) for l in path.read_text().splitlines()]
+    assert len(lines) == 24                     # 8 points x 3 trials
+    assert result.meta["sweep"] == {
+        "points": 8, "replayed": 0, "failed": 0, "degraded": 0,
+        "trials": 3, "executed": 24}
+    # Trial-major: the first 8 records carry no trial key (trial 0),
+    # then a full pass of trial 1, then trial 2.
+    assert all("trial" not in l for l in lines[:8])
+    assert [l["trial"] for l in lines[8:16]] == [1] * 8
+    assert [l["trial"] for l in lines[16:]] == [2] * 8
+    assert [l["key"] for l in lines[:8]] == [l["key"] for l in lines[8:16]]
+
+
+def test_trial0_prefix_is_the_single_trial_journal(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pin")
+    _, single = _run(tmp_path, "t1", trials=1)
+    _, multi = _run(tmp_path, "t3", trials=3)
+    single_lines = single.read_text().splitlines()
+    assert multi.read_text().splitlines()[:len(single_lines)] \
+        == single_lines
+
+
+def test_trials_vary_the_simulation_noise(tmp_path):
+    _, path = _run(tmp_path, "t3", trials=3)
+    medians = {}
+    for line in path.read_text().splitlines():
+        e = json.loads(line)
+        series = next(iter(e["series"].values()))
+        medians.setdefault(e["key"], []).append(series[0][1])
+    for key, vals in medians.items():
+        assert len(vals) == 3
+        assert len(set(vals)) > 1, f"{key}: trials identical"
+
+
+def test_fingerprint_stable_per_trial(monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pin")
+    spec = PointSpec(experiment="figX", key="k", runner="m:f",
+                     params={"size": 4})
+    fps = [point_fingerprint(PointSpec(experiment="figX", key="k",
+                                       runner="m:f", params={"size": 4},
+                                       trial=t)) for t in range(3)]
+    # Trial 0 hashes exactly like the pre-trial payload...
+    assert fps[0] == point_fingerprint(spec)
+    # ...and each later trial gets its own stable fingerprint.
+    assert len(set(fps)) == 3
+    assert fps[1] == point_fingerprint(
+        PointSpec(experiment="figX", key="k", runner="m:f",
+                  params={"size": 4}, trial=1))
+
+
+def test_resume_mid_trial_replays_and_completes(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pin")
+    full, path = _run(tmp_path, "full", trials=3)
+    lines = path.read_text().splitlines()
+    # Truncate mid trial 1: trial 0 complete, 3 of 8 trial-1 records.
+    cut = tmp_path / "cut.jsonl"
+    cut.write_text("\n".join(lines[:11]) + "\n", encoding="utf-8")
+    with CampaignJournal(cut, resume=True) as journal:
+        with executor_context(1, ExecutionPolicy(trials=3)):
+            resumed = fig1a(journal=journal, **KW)
+    assert resumed.meta["sweep"]["replayed"] == 11
+    assert resumed.meta["sweep"]["executed"] == 24
+    # The resumed campaign reconverges on the uninterrupted journal.
+    assert cut.read_text() == path.read_text()
+    for key, s in full.series.items():
+        assert resumed.series[key].median == s.median
+
+
+def test_trial_records_identical_serial_vs_jobs2(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CODE_VERSION", "pin")
+    shas = {}
+    for jobs in (1, 2):
+        d = tmp_path / f"j{jobs}"
+        d.mkdir()
+        argv = ["run", "fig1a", "--fast", "--trials", "2",
+                "--journal", str(d / "c.jsonl"),
+                "--out", str(d / "r.md")]
+        if jobs != 1:
+            argv += ["--jobs", "2"]
+        assert main(argv) == 0
+        shas[jobs] = (_sha(d / "c.jsonl"), _sha(d / "r.md"))
+    assert shas[1] == shas[2]
+
+
+# -- failed trials in reports ----------------------------------------------
+
+def _fails_on_trial1(params: dict) -> dict:
+    from repro.faults.context import active_point_scope
+    scope = active_point_scope()
+    if scope is not None and scope[1].endswith("#t1"):
+        raise RuntimeError(f"injected trial failure at {scope[1]}")
+    x = float(params["x"])
+    return {"s": [[x, x * 2.0, x * 1.9, x * 2.1]]}
+
+
+def _run_flaky(tmp_path):
+    from repro.core.campaign import SweepGuard
+    from repro.core.results import ExperimentResult
+
+    path = tmp_path / "flaky.jsonl"
+    result = ExperimentResult(name="expF", title="flaky")
+    result.new_series("s")
+    with CampaignJournal(path) as journal:
+        guard = SweepGuard(result, journal)
+        with executor_context(1, ExecutionPolicy(trials=2)):
+            guard.run_specs([
+                PointSpec(experiment="expF", key=f"x={x}",
+                          runner="tests.test_campaign_trials:"
+                                 "_fails_on_trial1",
+                          params={"x": x})
+                for x in (1, 2)])
+    return result, path
+
+
+def test_failed_trial_renders_in_text_report(tmp_path):
+    from repro.core.report import render_experiment
+
+    result, path = _run_flaky(tmp_path)
+    assert result.meta["sweep"]["failed"] == 2
+    # Trial 0 succeeded everywhere, so every point still has a row.
+    assert result.series["s"].x == [1.0, 2.0]
+    text = render_experiment(result)
+    assert "(2 seeded trials per point" in text
+    assert "x=1#t1" in text and "injected trial failure" in text
+    entries = [json.loads(l) for l in path.read_text().splitlines()]
+    failed = [e for e in entries if e["status"] == "failed"]
+    assert [e["trial"] for e in failed] == [1, 1]
+
+
+def test_failed_trial_renders_in_html_report(tmp_path):
+    from repro.analysis.stats import CampaignResults
+    from repro.core.htmlreport import (render_html_report,
+                                       validate_html_report)
+
+    _, path = _run_flaky(tmp_path)
+    html = render_html_report(CampaignResults.from_journal(path))
+    assert validate_html_report(html) == []
+    assert 'id="failures"' in html
+    assert "injected trial failure" in html
+    assert "x=1#t1" in html

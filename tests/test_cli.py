@@ -123,3 +123,41 @@ def test_unknown_experiment_message_names_valid(capsys):
     err = capsys.readouterr().err
     assert "unknown experiment 'fig99'" in err
     assert "valid experiments" in err and "fig4a" in err
+
+
+def test_status_missing_journal_exits_2(capsys):
+    assert main(["status", "/nonexistent/j.jsonl"]) == 2
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_status_renders_counts(capsys, tmp_path):
+    j = tmp_path / "c.jsonl"
+    assert main(["run", "fig1a", "--fast", "--journal", str(j)]) == 0
+    capsys.readouterr()
+    assert main(["status", str(j)]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith(f"campaign {j}:")
+    assert "[complete]" in out
+    assert "experiment" in out and "pending" in out
+
+
+def test_report_missing_compare_exits_2(capsys, tmp_path):
+    j = tmp_path / "c.jsonl"
+    assert main(["run", "fig1a", "--fast", "--journal", str(j)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(j), "--compare",
+                 str(tmp_path / "nope.jsonl"),
+                 "-o", str(tmp_path / "r.html")]) == 2
+    assert "no journal" in capsys.readouterr().err
+
+
+def test_trials_flag_validated(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "fig1a", "--fast", "--trials", "0"])
+    assert "trials" in capsys.readouterr().err
+
+
+def test_trials_note_for_non_sweep_experiment(capsys):
+    assert main(["run", "fig2", "--fast", "--trials", "2"]) == 0
+    assert "--trials only affects sweep experiments" \
+        in capsys.readouterr().err

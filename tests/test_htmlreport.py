@@ -1,0 +1,156 @@
+"""Rendered HTML campaign reports: content markers and validation.
+
+The report contract (docs/OBSERVABILITY.md): self-contained HTML with
+a CI error bar per sweep point, the paper-vs-measured table, Mann-
+Whitney comparison annotations, the Fig-10 attribution trend, failure
+listings — and a validator that rejects malformed documents before
+anything hits disk.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.stats import CampaignResults
+from repro.core.htmlreport import (render_html_report,
+                                   validate_html_report,
+                                   write_html_report)
+
+
+def _journal(path, medians_by_trial, experiment="fig1", metrics=None):
+    with open(path, "w", encoding="utf-8") as fh:
+        for trial, med in enumerate(medians_by_trial):
+            for i, m in enumerate(med):
+                entry = {"experiment": experiment,
+                         "key": f"size={4 << i}", "status": "ok",
+                         "series": {"lat": [[float(4 << i), m,
+                                             m * 0.9, m * 1.1]]}}
+                if trial:
+                    entry["trial"] = trial
+                if metrics:
+                    entry["metrics"] = metrics
+                fh.write(json.dumps(entry) + "\n")
+    return path
+
+
+def _results(tmp_path, name="c", **kw):
+    return CampaignResults.from_journal(
+        _journal(tmp_path / f"{name}.jsonl", **kw))
+
+
+TRIALS = [[1.0, 2.0], [1.1, 2.1], [0.9, 1.9]]
+
+
+def test_report_has_ci_bars_and_tables(tmp_path):
+    res = _results(tmp_path, medians_by_trial=TRIALS)
+    html = render_html_report(res)
+    assert validate_html_report(html) == []
+    assert html.count('class="ci-bar"') == 2      # one per sweep point
+    assert 'id="paper-vs-measured"' in html
+    assert "fig1a" in html                        # claim matched by prefix
+    assert "3 trial(s) per point" in html
+    assert "<svg" in html and "</svg>" in html
+    # Self-contained: no external fetches.
+    assert "http://" not in html and "https://" not in html
+    assert "<script" not in html
+
+
+def test_report_escapes_content(tmp_path):
+    path = tmp_path / "c.jsonl"
+    path.write_text(json.dumps({
+        "experiment": "<evil>", "key": "k&<b>", "status": "failed",
+        "failure": {"error": "E", "message": "<script>alert(1)</script>",
+                    "harness": True}}) + "\n", encoding="utf-8")
+    html = render_html_report(CampaignResults.from_journal(path))
+    assert "<evil>" not in html
+    assert "&lt;evil&gt;" in html
+    assert "<script>alert" not in html
+    assert validate_html_report(html) == []
+
+
+def test_comparison_section_marks_significance(tmp_path):
+    # 5 well-separated trials per side: Mann-Whitney can reach p < 0.05.
+    a = _results(tmp_path, name="a", medians_by_trial=[
+        [1.0 + d, 2.0 + d] for d in (0.0, 0.01, 0.02, 0.03, 0.04)])
+    b = _results(tmp_path, name="b", medians_by_trial=[
+        [5.0 + d, 6.0 + d] for d in (0.0, 0.01, 0.02, 0.03, 0.04)])
+    html = render_html_report(a, compare=b)
+    assert validate_html_report(html) == []
+    assert 'id="comparison"' in html
+    assert 'class="sig"' in html
+    assert "2/2 significant" in html
+
+
+def test_comparison_without_overlap_reports_none(tmp_path):
+    a = _results(tmp_path, name="a", medians_by_trial=TRIALS)
+    b = _results(tmp_path, name="b", medians_by_trial=TRIALS,
+                 experiment="other")
+    html = render_html_report(a, compare=b)
+    assert "No common (experiment, series, x) points" in html
+
+
+def test_attribution_trend_from_journal_metrics(tmp_path):
+    from repro.obs.metrics import DEFAULT_BUCKETS
+    buckets = [1] + [0] * len(DEFAULT_BUCKETS)
+
+    def point(stall, bw):
+        return {
+            "runtime.busy_seconds": {"type": "counter", "value": 1.0},
+            "runtime.stall_seconds": {"type": "counter", "value": stall},
+            "net.bytes": {"type": "counter", "value": bw},
+            "net.transfer_seconds{protocol=eager}": {
+                "type": "histogram",
+                "value": {"sum": 1.0, "count": 1, "buckets": buckets}},
+        }
+
+    path = tmp_path / "c.jsonl"
+    with open(path, "w", encoding="utf-8") as fh:
+        for i, (stall, bw) in enumerate([(0.1, 9e9), (0.5, 5e9),
+                                         (0.9, 1e9)]):
+            fh.write(json.dumps({
+                "experiment": "fig10", "key": f"w={i}", "status": "ok",
+                "series": {"bw": [[float(i), bw, bw, bw]]},
+                "metrics": point(stall, bw)}) + "\n")
+    html = render_html_report(CampaignResults.from_journal(path))
+    assert 'id="attribution-trend"' in html
+    assert "matches Fig 10" in html
+    assert "Campaign metrics" in html
+
+
+def test_attribution_note_when_no_overlap_telemetry(tmp_path):
+    res = _results(tmp_path, medians_by_trial=TRIALS)
+    html = render_html_report(res)
+    assert 'id="attribution-trend"' in html
+    assert "No per-point metric deltas" in html
+
+
+def test_validator_catches_malformed_html():
+    assert validate_html_report("<html><body><h1>x</h1></body></html>"
+                                ) == ["missing the paper-vs-measured "
+                                      "table"]
+    problems = validate_html_report("<html><body><div><p>x</div>")
+    assert any("mismatched" in p or "unclosed" in p for p in problems)
+    assert any("missing <h1>" in p for p in problems)
+
+
+def test_write_html_report_validates(tmp_path):
+    res = _results(tmp_path, medians_by_trial=TRIALS)
+    out = tmp_path / "r.html"
+    text = write_html_report(out, res)
+    assert out.read_text(encoding="utf-8") == text
+
+
+def test_report_deterministic(tmp_path):
+    res = _results(tmp_path, medians_by_trial=TRIALS)
+    assert render_html_report(res) == render_html_report(res)
+
+
+def test_cli_report_roundtrip(tmp_path, capsys):
+    from repro.cli import main
+    _journal(tmp_path / "c.jsonl", medians_by_trial=TRIALS)
+    out = tmp_path / "r.html"
+    assert main(["report", str(tmp_path / "c.jsonl"),
+                 "-o", str(out)]) == 0
+    assert validate_html_report(out.read_text(encoding="utf-8")) == []
+    assert main(["report", str(tmp_path / "missing.jsonl"),
+                 "-o", str(out)]) == 2

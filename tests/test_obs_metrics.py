@@ -110,3 +110,60 @@ def test_export_is_deterministic_and_parseable(tmp_path):
     on_disk = json.loads(path.read_text())
     assert on_disk["note"] == "hi"
     assert on_disk["metrics"] == doc["metrics"]
+
+
+def test_histogram_state_carries_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 1.5, 3.0):
+        h.observe(v)
+    state = h.to_state()
+    q = state["quantiles"]
+    assert set(q) == {"p50", "p95", "p99"}
+    # Rank interpolation: p50 target rank 2 lands in the (1, 2] bucket.
+    assert 1.0 <= q["p50"] <= 2.0
+    assert 2.0 <= q["p95"] <= 4.0
+    assert q["p50"] <= q["p95"] <= q["p99"]
+
+
+def test_empty_histogram_quantiles_are_zero():
+    reg = MetricsRegistry()
+    q = reg.histogram("h").to_state()["quantiles"]
+    assert q == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def test_delta_quantiles_reflect_only_the_delta():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 10.0, 100.0])
+    h.observe(0.5)                       # pre-existing small observation
+    before = reg.snapshot()
+    h.observe(50.0)
+    h.observe(50.0)
+    delta = reg.delta(before)["h"]["value"]
+    assert delta["count"] == 2
+    # Both delta observations sit in the (10, 100] bucket.
+    assert 10.0 <= delta["quantiles"]["p50"] <= 100.0
+
+
+def test_merge_delta_ignores_quantiles_and_rederives():
+    src = MetricsRegistry()
+    h = src.histogram("h", buckets=[1.0, 2.0])
+    h.observe(1.5)
+    delta = src.delta({})
+    assert "quantiles" in delta["h"]["value"]
+
+    dst = MetricsRegistry()
+    dst.histogram("h", buckets=[1.0, 2.0])
+    dst.merge_delta(delta)
+    merged = dst.snapshot()["h"]["value"]
+    assert merged["count"] == 1
+    assert merged["quantiles"] == delta["h"]["value"]["quantiles"]
+
+
+def test_counter_only_export_has_no_quantiles():
+    """Exports without histograms must not change shape (byte-identity
+    of pre-existing counter/gauge-only exports)."""
+    reg = MetricsRegistry()
+    reg.counter("c").inc()
+    reg.gauge("g").set(2.0)
+    assert "quantiles" not in reg.to_json()

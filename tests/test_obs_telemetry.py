@@ -198,3 +198,64 @@ def test_metrics_only_telemetry_skips_tracing():
         _cg()
         assert tele.registry.counter("runtime.tasks").value > 0
         assert tele.transfers
+
+
+# -- attribution degenerate inputs (regression: must never emit NaN) -------
+
+def _sample(bandwidth=1e9, stall=0.5, busy=1.0, size=1024):
+    from repro.obs.attribution import TransferSample
+    return TransferSample(t=0.0, run="r", src=0, dst=1, size=size,
+                          protocol="eager", duration=size / bandwidth,
+                          bandwidth=bandwidth, mem_stall=stall, busy=busy)
+
+
+def test_attribution_empty_input_is_structured():
+    from repro.obs.attribution import attribution_report
+    report = attribution_report([])
+    assert report["correlation"] is None
+    assert report["insufficient_data"] == "no_active_transfers"
+
+
+def test_attribution_single_sample_is_structured():
+    import json
+
+    from repro.obs.attribution import attribution_report, render_attribution
+    report = attribution_report([_sample()])
+    assert report["correlation"] is None
+    assert report["insufficient_data"] == "too_few_active_transfers"
+    text = render_attribution(report)
+    assert "insufficient data" in text
+    assert "nan" not in text.lower()
+    assert "nan" not in json.dumps(report).lower()
+
+
+def test_attribution_zero_variance_is_structured():
+    from repro.obs.attribution import attribution_report
+    # Identical stall fractions and bandwidths: Pearson undefined.
+    report = attribution_report([_sample(), _sample()])
+    assert report["correlation"] is None
+    assert report["insufficient_data"] == "zero_variance"
+
+
+def test_attribution_nonfinite_samples_dropped():
+    import json
+    import math
+
+    from repro.obs.attribution import attribution_report
+    bad = _sample()
+    bad.bandwidth = math.nan
+    report = attribution_report(
+        [bad, _sample(1e9, 0.2), _sample(2e9, 0.8), _sample(1.5e9, 0.5)])
+    assert report["transfers"] == 3
+    assert "nan" not in json.dumps(report).lower()
+    assert report["correlation"] is not None
+
+
+def test_attribution_healthy_report_keyset_unchanged():
+    """insufficient_data must only appear on degenerate inputs — healthy
+    metric exports keep their exact pre-existing keys (byte-identity)."""
+    from repro.obs.attribution import attribution_report
+    report = attribution_report(
+        [_sample(1e9, 0.2), _sample(2e9, 0.8), _sample(1.5e9, 0.5)])
+    assert report["correlation"] is not None
+    assert "insufficient_data" not in report

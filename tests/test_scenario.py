@@ -176,7 +176,9 @@ def test_var_kw_experiments_reject_unknown_params():
 def test_example_scenarios_validate(path):
     scen = load_scenario(str(path))
     assert scen.fast, f"{path.name} should use --fast for CI"
-    assert scen.fault_specs
+    # Every example demonstrates at least one layered capability on
+    # top of the base experiment (a fault plan or multi-seed trials).
+    assert scen.fault_specs or (scen.trials or 1) > 1
 
 
 def test_mini_toml_parser_matches_schema_subset():
@@ -273,3 +275,44 @@ def test_malformed_scenario_fails_via_cli(tmp_path, capsys):
         main(["run", "--scenario", str(bad)])
     err = capsys.readouterr().err
     assert "bogus_knob" in err and "valid parameters" in err
+
+
+def test_execution_trials_key_parses():
+    scen = parse_scenario(
+        '[scenario]\nexperiment = "fig1a"\n'
+        '[execution]\ntrials = 5\n')
+    assert scen.trials == 5
+    assert parse_scenario('[scenario]\nexperiment = "fig1a"\n'
+                          ).trials is None
+
+
+def test_execution_trials_validated():
+    with pytest.raises(ScenarioError) as err:
+        parse_scenario('[scenario]\nexperiment = "fig1a"\n'
+                       '[execution]\ntrials = 0\n')
+    assert "trials must be >= 1" in str(err.value)
+    with pytest.raises(ScenarioError) as err:
+        parse_scenario('[scenario]\nexperiment = "fig1a"\n'
+                       '[execution]\ntrials = true\n')
+    assert "trials" in str(err.value)
+
+
+def test_scenario_trials_drive_the_campaign(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    scen = tmp_path / "s.toml"
+    scen.write_text(
+        '[scenario]\nexperiment = "fig1a"\nfast = true\n'
+        '[params]\nsizes = [4, 64]\nreps = 3\n'
+        '[execution]\ntrials = 2\njournal = "c.jsonl"\n')
+    assert main(["run", "--scenario", str(scen)]) == 0
+    entries = [json.loads(l) for l in
+               (tmp_path / "c.jsonl").read_text().splitlines()]
+    assert len(entries) == 16                  # 8 points x 2 trials
+    assert sum(e.get("trial", 0) == 1 for e in entries) == 8
+    # An explicit CLI --trials wins over the scenario value.
+    (tmp_path / "c.jsonl").unlink()
+    assert main(["run", "--scenario", str(scen), "--trials", "1"]) == 0
+    entries = [json.loads(l) for l in
+               (tmp_path / "c.jsonl").read_text().splitlines()]
+    assert len(entries) == 8
+    assert all("trial" not in e for e in entries)
