@@ -1,53 +1,49 @@
-"""Micro-benchmark of the incremental fluid solver (PR 3 tentpole).
+"""Micro-benchmarks of the incremental fluid solver.
 
-Unlike the figure benchmarks, this one stresses the solver directly: a
-many-component flow graph (one shared bus per "socket", fig10-style)
-driven by a churn of start/complete/capacity events.  With global
-recomputation this is quadratic in the number of components — the
-incremental solver re-solves only the touched component, so the event
-cost stays flat as components are added.
+Unlike the figure benchmarks, these stress the solver directly.  The
+drivers live in :mod:`repro.sim.microbench` so ``repro bench`` times
+the identical workloads for the committed ``BENCH_*.json`` baselines.
+
+* ``test_fluid_component_churn`` (PR 3 tentpole): a many-component
+  flow graph (one shared bus per "socket", fig10-style) driven by a
+  churn of start/complete/capacity events.  With global recomputation
+  this is quadratic in the number of components — the incremental
+  solver re-solves only the touched component, so the event cost stays
+  flat as components are added.
+* ``test_fluid_wide_component_resolve`` (PR 8 tentpole): one wide
+  fabric component re-solved repeatedly under trunk-capacity wiggles —
+  the regime the vectorized component solve and the dirty-component
+  memo target.
 """
 
 from conftest import note, run_once
 
-from repro.sim import Flow, FluidNetwork, Resource, Simulator
+from repro.sim.microbench import churn, churn_wide
 
 N_COMPONENTS = 16
 FLOWS_PER_COMPONENT = 12
 ROUNDS = 40
 
-
-def churn(n_components=N_COMPONENTS, per=FLOWS_PER_COMPONENT,
-          rounds=ROUNDS):
-    """Drive isolated bus components through start/finish/capacity churn.
-
-    Returns (events, total simulated seconds) so the benchmark can sanity
-    check that all work actually happened.
-    """
-    sim = Simulator()
-    net = FluidNetwork(sim)
-    buses = [Resource(f"bus{i}", 100.0) for i in range(n_components)]
-    events = 0
-    for r in range(rounds):
-        flows = [net.start_flow(Flow([buses[i % n_components]],
-                                     size=50.0 + (i % per),
-                                     demand=40.0))
-                 for i in range(n_components * per)]
-        events += len(flows)
-        # Mid-round capacity wiggle on every component (the fig10
-        # set_core_activity pattern), then drain.
-        sim.run(until=sim.now + 0.2)
-        for i, bus in enumerate(buses):
-            bus.set_capacity(90.0 + (r + i) % 20)
-            events += 1
-        sim.run()
-        assert all(f.done.triggered for f in flows)
-    return events, sim.now
+WIDE_FLOWS = 128
+WIDE_ROUNDS = 6
+WIDE_WIGGLES = 40
 
 
 def test_fluid_component_churn(benchmark):
-    events, sim_seconds = run_once(benchmark, churn)
+    events, sim_seconds = run_once(
+        benchmark, lambda: churn(N_COMPONENTS, FLOWS_PER_COMPONENT, ROUNDS))
     note(benchmark, components=N_COMPONENTS,
          flows=N_COMPONENTS * FLOWS_PER_COMPONENT * ROUNDS,
          events=events, simulated_seconds=round(sim_seconds, 3))
     assert events > N_COMPONENTS * FLOWS_PER_COMPONENT * ROUNDS
+
+
+def test_fluid_wide_component_resolve(benchmark):
+    events, sim_seconds = run_once(
+        benchmark,
+        lambda: churn_wide(per=WIDE_FLOWS, rounds=WIDE_ROUNDS,
+                           wiggles=WIDE_WIGGLES))
+    note(benchmark, flows=WIDE_FLOWS * WIDE_ROUNDS,
+         wiggles=WIDE_ROUNDS * WIDE_WIGGLES,
+         events=events, simulated_seconds=round(sim_seconds, 3))
+    assert events > WIDE_FLOWS * WIDE_ROUNDS

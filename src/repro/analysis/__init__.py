@@ -1,14 +1,16 @@
 """Statistics and model-fitting helpers for experiment results."""
 
 from repro.analysis.stats import (
-    SummaryStats, summarize, median, decile_band, bootstrap_ci,
+    NonFiniteSampleWarning, SummaryStats, summarize, median, decile_band,
+    bootstrap_ci,
 )
 from repro.analysis.fitting import (
     fit_latency_frequency, detect_ridge, crossover_index, relative_change,
 )
 
 __all__ = [
-    "SummaryStats", "summarize", "median", "decile_band", "bootstrap_ci",
+    "NonFiniteSampleWarning", "SummaryStats", "summarize", "median",
+    "decile_band", "bootstrap_ci",
     "fit_latency_frequency", "detect_ridge", "crossover_index",
     "relative_change",
 ]

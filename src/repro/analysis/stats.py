@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import math
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -27,8 +28,23 @@ import numpy as np
 __all__ = ["SummaryStats", "summarize", "median", "decile_band",
            "bootstrap_ci", "aggregate_trial_series",
            "mann_whitney_u", "a12_effect_size", "MannWhitneyResult",
+           "NonFiniteSampleWarning",
            "TrialSet", "CampaignResults", "Comparison",
            "read_journal_entries"]
+
+
+class NonFiniteSampleWarning(UserWarning):
+    """Non-finite samples were dropped before summarizing.
+
+    A journal record can carry a NaN/inf metric delta (e.g. a rate
+    sampled across a division-by-zero window); ``np.median`` would
+    silently propagate it into every derived number and ultimately the
+    HTML report.  Mirroring ``attribution_report``'s
+    ``insufficient_data`` treatment, the offending samples are dropped
+    up front and the drop is reported — structurally via
+    ``SummaryStats.dropped`` and loudly via this warning category —
+    while an *all*-non-finite sample raises instead of emitting NaN.
+    """
 
 
 @dataclass(frozen=True)
@@ -39,6 +55,10 @@ class SummaryStats:
     p10: float
     p90: float
     n: int
+    #: Non-finite samples dropped before summarizing (0 for healthy
+    #: input, so existing call sites and serialized forms are
+    #: unchanged).
+    dropped: int = 0
 
     @property
     def band_width(self) -> float:
@@ -46,15 +66,32 @@ class SummaryStats:
 
 
 def summarize(samples: Sequence[float]) -> SummaryStats:
-    """Median + first/last decile of *samples*."""
+    """Median + first/last decile of *samples*.
+
+    Non-finite samples (NaN/inf) are dropped with a
+    :class:`NonFiniteSampleWarning` and counted in ``dropped``; an
+    all-non-finite sample raises ``ValueError`` rather than summarize
+    nothing.
+    """
     arr = np.asarray(samples, dtype=float)
     if arr.size == 0:
         raise ValueError("cannot summarize an empty sample")
+    finite = np.isfinite(arr)
+    dropped = int(arr.size - int(finite.sum()))
+    if dropped:
+        if dropped == arr.size:
+            raise ValueError(
+                f"cannot summarize: all {arr.size} samples are non-finite")
+        warnings.warn(
+            f"dropped {dropped} non-finite of {arr.size} samples",
+            NonFiniteSampleWarning, stacklevel=2)
+        arr = arr[finite]
     return SummaryStats(
         median=float(np.median(arr)),
         p10=float(np.quantile(arr, 0.1)),
         p90=float(np.quantile(arr, 0.9)),
         n=int(arr.size),
+        dropped=dropped,
     )
 
 
@@ -97,6 +134,12 @@ def aggregate_trial_series(series_by_trial: Sequence[Mapping[str, list]]
     p10s, max of the trial p90s).  Series/row order follows first
     appearance across trials (trial 0 first), so single-surviving-trial
     aggregation degenerates to that trial's own rows.
+
+    Trial rows carrying a non-finite median or band edge are dropped
+    (with one :class:`NonFiniteSampleWarning` per series) before
+    folding — ``np.median``/``min``/``max`` would otherwise propagate
+    the NaN into the aggregate.  A point whose rows are *all*
+    non-finite raises ``ValueError``.
     """
     keys: List[str] = []
     for sd in series_by_trial:
@@ -114,11 +157,28 @@ def aggregate_trial_series(series_by_trial: Sequence[Mapping[str, list]]
                     rows_by_x[x] = []
                     order.append(x)
                 rows_by_x[x].append(row)
-        rows = [[x,
-                 float(np.median([r[1] for r in rows_by_x[x]])),
-                 min(r[2] for r in rows_by_x[x]),
-                 max(r[3] for r in rows_by_x[x])]
-                for x in order]
+        dropped = 0
+        rows = []
+        for x in order:
+            finite = [r for r in rows_by_x[x]
+                      if math.isfinite(r[1]) and math.isfinite(r[2])
+                      and math.isfinite(r[3])]
+            bad = len(rows_by_x[x]) - len(finite)
+            if bad:
+                if not finite:
+                    raise ValueError(
+                        f"series {k!r} x={x}: all {bad} trial rows "
+                        f"are non-finite")
+                dropped += bad
+            rows.append([x,
+                         float(np.median([r[1] for r in finite])),
+                         min(r[2] for r in finite),
+                         max(r[3] for r in finite)])
+        if dropped:
+            warnings.warn(
+                f"series {k!r}: dropped {dropped} non-finite trial "
+                f"row(s) before aggregating",
+                NonFiniteSampleWarning, stacklevel=2)
         if rows:
             out[k] = rows
     return out

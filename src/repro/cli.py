@@ -92,6 +92,20 @@ def _bench_lap(names, spec: str, jobs: int) -> Dict[str, float]:
     return seconds
 
 
+def _bench_micro() -> Dict[str, float]:
+    """Time the fluid-solver microbenches (the shapes of
+    benchmarks/test_fluid_solver.py, shared via repro.sim.microbench)."""
+    from repro.sim.microbench import churn, churn_wide
+    out: Dict[str, float] = {}
+    for name, fn in (("fluid_churn", churn),
+                     ("fluid_churn_wide", churn_wide)):
+        t0 = time.perf_counter()
+        fn()
+        out[name] = round(time.perf_counter() - t0, 3)
+        print(f"[bench micro] {name}: {out[name]:.1f}s", file=sys.stderr)
+    return out
+
+
 def _bench_tag(args) -> Optional[str]:
     """The baseline tag: explicit --tag, else derived from --out."""
     if args.tag:
@@ -119,6 +133,10 @@ def _bench(args) -> int:
     import platform
     out = args.out if args.out else f"BENCH_{tag}.json"
     seconds = _bench_lap(names, args.spec, jobs=1)
+    # Solver microbenches ride along in the serial lap only (they
+    # never touch the executor pool, so a parallel lap would just
+    # repeat the same numbers).
+    seconds.update(_bench_micro())
     doc = {
         "bench": tag,
         "mode": "fast",

@@ -86,7 +86,11 @@ class CampaignMeasurer:
             sweep["replayed"] += 1
         else:
             sweep["done"] += 1
-        if wall_s is not None:
+        if wall_s is not None and status != "replayed":
+            # Cache replays land in ~0s; folding them into the mean
+            # would make the ETA claim the remaining *fresh* points are
+            # nearly free.  Only fresh executions inform the estimate
+            # (a warm resume with only replays so far reports no ETA).
             sweep["wall_sum"] += wall_s
             sweep["wall_n"] += 1
         if metrics:
@@ -102,7 +106,11 @@ class CampaignMeasurer:
         return max(0, sweep["total"] - processed)
 
     def eta_seconds(self, experiment: str) -> Optional[float]:
-        """Pending work x mean observed point duration / pool width."""
+        """Pending work x mean *fresh* point duration / pool width.
+
+        Cache replays are excluded from the mean (see ``on_point``);
+        ``None`` until at least one fresh point has landed.
+        """
         sweep = self._sweeps.get(experiment)
         pending = self.pending(experiment)
         if sweep is None or pending is None or not sweep["wall_n"]:

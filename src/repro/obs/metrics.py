@@ -102,32 +102,42 @@ QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
 def bucket_quantiles(bounds, counts, count,
                      qs: Tuple[float, ...] = QUANTILES
-                     ) -> Dict[str, float]:
+                     ) -> Dict[str, object]:
     """Bucket-edge interpolated quantile estimates (p50/p95/p99).
 
     Linear interpolation inside the bucket holding the target rank;
     the lower edge of the first bucket is 0 (all observed quantities
-    are non-negative) and ranks in the overflow bucket clamp to the
-    last bound — an estimate, exactly as precise as the bucket layout.
+    are non-negative).  A rank that lands in the *overflow* bucket has
+    no upper edge to interpolate against: the estimate clamps to the
+    last bound and the export says so with a ``p99_clamped: true``
+    companion key — the true tail may be arbitrarily far above the
+    reported value.  Exports without overflow ranks carry no extra
+    keys, so healthy histograms serialize exactly as before.
     """
     if not count or not bounds:
         return {f"p{int(q * 100)}": 0.0 for q in qs}
-    out: Dict[str, float] = {}
+    out: Dict[str, object] = {}
     for q in qs:
         target = q * count
         cum = 0.0
         est = bounds[-1]
+        clamped = False
         for i, n in enumerate(counts):
             if not n:
                 continue
             prev_cum = cum
             cum += n
             if cum >= target:
+                overflow = i >= len(bounds)
                 lo = bounds[i - 1] if i > 0 else 0.0
-                hi = bounds[i] if i < len(bounds) else bounds[-1]
+                hi = bounds[i] if not overflow else bounds[-1]
                 est = lo + (hi - lo) * (target - prev_cum) / n
+                clamped = overflow
                 break
-        out[f"p{int(q * 100)}"] = est
+        key = f"p{int(q * 100)}"
+        out[key] = est
+        if clamped:
+            out[f"{key}_clamped"] = True
     return out
 
 

@@ -53,7 +53,8 @@ _PID_BLOCK = 1000   # pid block per cluster
 class _Binding:
     """Lane bookkeeping for one registered cluster (or bare network)."""
 
-    __slots__ = ("index", "base", "fabric", "wires", "primed")
+    __slots__ = ("index", "base", "fabric", "wires", "lane_by_res",
+                 "primed")
 
     def __init__(self, index: int):
         self.index = index
@@ -61,6 +62,10 @@ class _Binding:
         self.fabric = self.base + _FABRIC_OFF
         # [(src, dst, Resource)] — wire lanes, in (src, dst) order.
         self.wires: List[Tuple[int, int, object]] = []
+        # Resource -> lane index, the inverse of `wires` (resources
+        # hash by identity).  Lets the rate-change sampler visit only
+        # the dirty wires instead of scanning every lane per solve.
+        self.lane_by_res: Dict[object, int] = {}
         # Whether every wire counter track has its initial sample.
         self.primed = False
 
@@ -91,6 +96,8 @@ class Telemetry:
         binding = self._binding_for_net(cluster.net)
         binding.wires = [(a, b, res) for (a, b), res
                          in sorted(cluster._wires.items())]  # noqa: SLF001
+        binding.lane_by_res = {res: lane for lane, (_a, _b, res)
+                               in enumerate(binding.wires)}
         if self.registry is not None:
             self.registry.counter("clusters.built").inc()
         tracer = self.tracer
@@ -161,6 +168,12 @@ class Telemetry:
                     flow.start_time, net.sim.now, args)
                 return
 
+    def on_flow_stop_noop(self, net, flow) -> None:
+        """``stop_flow`` on an already-inactive flow: counted, not
+        double-ended (``on_flow_end`` must fire exactly once per flow)."""
+        if self.registry is not None:
+            self.registry.counter("fluid.stop_noops").inc()
+
     def on_invariant_check(self) -> None:
         """One fluid-solver self-check pass ran (``--check-invariants``)."""
         if self.registry is not None:
@@ -193,10 +206,20 @@ class Telemetry:
         prime = not binding.primed
         if prime:
             binding.primed = True
-        for a, b, res in binding.wires:
-            if not (prime or dirty_resources is None
-                    or res in dirty_resources):
-                continue
+        if prime or dirty_resources is None:
+            lanes = range(len(binding.wires))
+        else:
+            # Visit only the dirty wires, in lane order — `wires` is
+            # sorted by (src, dst), so sorting the lane indices restores
+            # exactly the emission order the full scan produced.
+            lane_by_res = binding.lane_by_res
+            hits = [lane for res in dirty_resources
+                    if (lane := lane_by_res.get(res)) is not None]
+            hits.sort()
+            lanes = hits
+        wires = binding.wires
+        for lane in lanes:
+            a, b, res = wires[lane]
             bw = net.utilization(res) * res.capacity
             tracer.counter(binding.fabric, f"wire{a}->{b} GB/s", now,
                            bw / 1e9)

@@ -253,13 +253,16 @@ class Simulator:
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
-    __slots__ = ("_generator", "_waiting_on", "name", "daemon")
+    __slots__ = ("_generator", "_waiting_on", "_sleep_handle", "_sleep_gen",
+                 "name", "daemon")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = "",
                  daemon: bool = False):
         super().__init__(sim)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        self._sleep_handle: Optional[ScheduledHandle] = None
+        self._sleep_gen = 0
         self.name = name or getattr(generator, "__name__", "process")
         self.daemon = daemon
         # Kick off on the next tick so creation order doesn't matter.
@@ -281,6 +284,11 @@ class Process(Event):
                 waiting.callbacks.remove(self._on_event)
             except ValueError:
                 pass
+        # Detach a pending plain sleep.  The heap entry is *not*
+        # cancelled: it fires later as a no-op dispatch, exactly like a
+        # detached Timeout's empty callback list did, so event counts
+        # (and with them metrics exports) are unchanged.
+        self._sleep_handle = None
         self.sim.schedule(0.0, self._resume, None, Interrupt(cause),
                           daemon=self.daemon)
 
@@ -310,7 +318,20 @@ class Process(Event):
 
     def _wait_for(self, target: Any) -> None:
         if isinstance(target, (int, float)):
-            target = Timeout(self.sim, target, daemon=self.daemon)
+            # Numeric yields (plain sleeps) are by far the most common
+            # wait, so they skip the Timeout/Event allocation and the
+            # callback indirection entirely: one heap entry resuming the
+            # generator directly.  Exactly one schedule() call either
+            # way, so heap sequence numbers — and with them the order of
+            # same-instant events — are identical to the Timeout path.
+            if target < 0:
+                # Same contract as Timeout: reject before scheduling.
+                raise ValueError(f"negative timeout delay: {target!r}")
+            self._sleep_gen += 1
+            self._sleep_handle = self.sim.schedule(
+                target, self._sleep_fired, self._sleep_gen,
+                daemon=self.daemon)
+            return
         if not isinstance(target, Event):
             self._resume(
                 None,
@@ -321,3 +342,9 @@ class Process(Event):
             return
         self._waiting_on = target
         target.add_callback(self._on_event)
+
+    def _sleep_fired(self, gen: int) -> None:
+        if gen != self._sleep_gen or self._sleep_handle is None:
+            return  # stale: the sleep was interrupted away
+        self._sleep_handle = None
+        self._resume(None, None)

@@ -31,12 +31,22 @@ to a component freezes its flows in exactly the same order as a global
 pass would, so the allocation (and its floating-point rounding) is the
 one a full recompute produces.  See "Fluid solver internals" in
 DESIGN.md for the invariants this relies on.
+
+Large components solve on a *vectorized* path: the first repeat solve
+of a given component membership freezes its flow×resource incidence
+into a :class:`_ComponentPlan` of numpy arrays, and progressive filling
+runs as batched row operations instead of dict-of-set scans.  The
+vector path is an arithmetic twin of the scalar one — same operand
+order, same tie-breaking — so seeded runs are bit-identical whichever
+path solves a component (see DESIGN.md §4.1).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.obs import context as _obs_context
 from repro.sim import invariants as _inv
@@ -47,6 +57,16 @@ __all__ = ["Resource", "Flow", "FluidNetwork"]
 
 _EPS = 1e-12
 _REL_TOL = 1e-9
+
+# Components below this many flows solve on the scalar path: numpy's
+# per-op dispatch overhead (~1–2 µs) swamps the win on small arrays,
+# and the figures' components are mostly single-digit.  Tests pin
+# ``FluidNetwork._vec_min`` to force either path.
+_VEC_MIN = 32
+
+# Component-plan cache bound; cleared wholesale on overflow (plans are
+# cheap to rebuild and the cache is hot for a handful of memberships).
+_PLAN_CACHE_MAX = 256
 
 
 class Resource:
@@ -180,6 +200,75 @@ class Flow:
                 f"remaining={self.remaining})")
 
 
+class _ComponentPlan:
+    """Frozen array layout of one dirty connected component.
+
+    Built once per distinct component membership (keyed by the flows'
+    activation-sequence tuple) and reused for every subsequent solve of
+    the same component:
+
+    * ``W`` — resources × flows matrix of cached ``weight · usage``
+      products (the water-level denominators are left-to-right sums of
+      its rows over the still-unfixed columns);
+    * ``M`` — boolean membership matrix (``usage`` may be 0, which
+      zeroes the product but keeps the flow on the resource);
+    * per-flow path index/usage arrays for the residual-capacity
+      subtraction of :meth:`FluidNetwork._fix_vec`.
+
+    Everything baked in is immutable for the key's lifetime: sequence
+    numbers are never reused, and a flow's path, weight and usage
+    multipliers are fixed at construction.  Demands and capacities can
+    change between solves, so those are re-gathered per solve.
+
+    Flow columns are in activation (``_seq``) order and resources in
+    first-touch order — exactly the iteration orders of the scalar
+    solver, so freeze order and rounding match it bitwise.
+    """
+
+    __slots__ = ("flows", "empty", "resources", "W", "M", "weights",
+                 "weights_l", "paths")
+
+    def __init__(self, dirty: Sequence[Flow]):
+        empty: List[Flow] = []
+        flows: List[Flow] = []
+        for f in dirty:
+            (flows if f.resources else empty).append(f)
+        self.empty = tuple(empty)
+        self.flows = tuple(flows)
+        res_index: Dict[Resource, int] = {}
+        resources: List[Resource] = []
+        for f in flows:
+            for res in f.resources:
+                if res not in res_index:
+                    res_index[res] = len(resources)
+                    resources.append(res)
+        self.resources = tuple(resources)
+        nf = len(flows)
+        nr = len(resources)
+        W = np.zeros((nr, nf))
+        M = np.zeros((nr, nf), dtype=bool)
+        # Per-flow path as (resource index, usage) pairs for the
+        # residual-capacity debit of _fix_vec.  Plain Python pairs on
+        # purpose: the debit is sequential by construction (its
+        # rounding is order-dependent), so per-element numpy indexing
+        # would only add dispatch overhead to an O(path) scalar loop.
+        paths: List[Tuple[Tuple[int, float], ...]] = []
+        for j, f in enumerate(flows):
+            w = f.weight
+            path: List[Tuple[int, float]] = []
+            for res, wu in zip(f.resources, f._usages):
+                i = res_index[res]
+                W[i, j] = w * wu
+                M[i, j] = True
+                path.append((i, wu))
+            paths.append(tuple(path))
+        self.W = W
+        self.M = M
+        self.weights = np.array([f.weight for f in flows])
+        self.weights_l = [f.weight for f in flows]
+        self.paths = paths
+
+
 class FluidNetwork:
     """Set of active flows over shared resources; owns rate assignment.
 
@@ -206,6 +295,19 @@ class FluidNetwork:
         self._res_flows: Dict[Resource, Dict[Flow, None]] = {}
         self._next_seq = 0
         self._n_solves = 0  # rate solves, for invariant-check sampling
+        # Component-plan cache: activation-seq tuple -> _ComponentPlan,
+        # or None for a membership seen exactly once (see the warm-up
+        # note in _assign_rates).  Seqs are never reused, so entries
+        # can never alias a different membership.
+        self._comp_cache: Dict[Tuple[int, ...],
+                               Optional[_ComponentPlan]] = {}
+        self._vec_min = _VEC_MIN  # tests pin this to force either path
+        self._plan_warmup = True  # tests clear to build plans eagerly
+        # Single-seed dirty-component memo, cleared on any adjacency
+        # change (start/stop).  Demand and capacity updates re-solve
+        # the same membership over and over; the graph traversal (and
+        # its activation-order sort) is pure overhead for those.
+        self._dirty_cache: Dict[object, List[Flow]] = {}
 
     # -- public API -------------------------------------------------------
     @property
@@ -236,6 +338,8 @@ class FluidNetwork:
                 fset = res_flows[res] = {}
             fset[flow] = None
         self._flows[flow] = None
+        if self._dirty_cache:
+            self._dirty_cache.clear()
         if _obs_context._ACTIVE is not None:
             _obs_context._ACTIVE.on_flow_start(self, flow)
         self._recompute(seed_flows=(flow,))
@@ -256,8 +360,17 @@ class FluidNetwork:
 
         Fires the ``on_flow_end`` telemetry hook with ``aborted=True``
         so stopped flows close their wire spans and keep the
-        started/completed counters in step."""
+        started/completed counters in step.
+
+        Stopping a flow that is not active — never started, already
+        stopped, or already *completed* — is an explicit no-op: the
+        ``on_flow_end`` hook must not fire a second time (it would
+        double-close the wire span and skew the started/completed
+        counters), so only the ``fluid.stop_noops`` telemetry counter
+        ticks and the transferred byte count is returned as-is."""
         if not flow._active:
+            if _obs_context._ACTIVE is not None:
+                _obs_context._ACTIVE.on_flow_stop_noop(self, flow)
             return flow.transferred
         self._advance()
         self._deactivate(flow)
@@ -316,6 +429,8 @@ class FluidNetwork:
     def _deactivate(self, flow: Flow) -> None:
         flow._active = False
         flow.rate = 0.0
+        if self._dirty_cache:
+            self._dirty_cache.clear()
         if flow._completion_handle is not None:
             flow._completion_handle.cancel()
             flow._completion_handle = None
@@ -328,14 +443,33 @@ class FluidNetwork:
                 if not fset:
                     del res_flows[res]
 
-    def _dirty_component(self, seed_flows: Iterable[Flow],
-                         seed_resources: Iterable[Resource]) -> List[Flow]:
+    def _dirty_component(self, seed_flows: Sequence[Flow],
+                         seed_resources: Sequence[Resource]) -> List[Flow]:
         """Flows (transitively) sharing a resource with the seeds.
 
         Traverses the flow↔resource adjacency and returns the union of
         the seeds' connected components in *activation order* — the
         order the global solver would visit them in.
+
+        Single-seed queries (a capacity or demand update) are memoized
+        until the next adjacency change: the component of a given seed
+        cannot change while no flow starts or stops, so repeated
+        updates of the same knob skip both the traversal and the
+        activation-order sort.  Callers treat the returned list as
+        read-only.
         """
+        # Callers pass lists/tuples (sized), so the single-seed probe
+        # is two len() calls on the miss path.
+        key: Optional[object] = None
+        if not seed_flows:
+            if len(seed_resources) == 1:
+                key = seed_resources[0]
+        elif len(seed_flows) == 1 and not seed_resources:
+            key = seed_flows[0]
+        if key is not None:
+            cached = self._dirty_cache.get(key)
+            if cached is not None:
+                return cached
         res_flows = self._res_flows
         dirty: Dict[Flow, None] = {}
         res_stack: List[Resource] = []
@@ -357,8 +491,12 @@ class FluidNetwork:
                         if r not in seen_res:
                             res_stack.append(r)
         if len(dirty) <= 1:
-            return list(dirty)
-        return sorted(dirty, key=lambda f: f._seq)
+            component = list(dirty)
+        else:
+            component = sorted(dirty, key=lambda f: f._seq)
+        if key is not None:
+            self._dirty_cache[key] = component
+        return component
 
     def _recompute(self, seed_flows: Sequence[Flow] = (),
                    seed_resources: Sequence[Resource] = ()) -> None:
@@ -441,6 +579,38 @@ class FluidNetwork:
         """Weighted max-min fair allocation via progressive filling,
         restricted to the *dirty* component(s).
 
+        Dispatches on component size: large components run the
+        vectorized solver over a cached :class:`_ComponentPlan`, small
+        ones the scalar reference.  The two are arithmetic twins —
+        every sum, product, comparison and clamp happens in the same
+        order with the same operands — so the choice never changes a
+        single bit of the resulting rates.
+        """
+        if len(dirty) < self._vec_min:
+            return self._assign_rates_scalar(dirty, touched)
+        key = tuple(f._seq for f in dirty)
+        cache = self._comp_cache
+        plan = cache.get(key, False)
+        if plan is False and self._plan_warmup:
+            # First sighting of this membership: solve scalar and only
+            # mark the key.  Churn-once components (a burst of starts
+            # that never re-solves the same membership) never pay for a
+            # plan build; the second solve does, and every one after
+            # that amortizes it.
+            if len(cache) >= _PLAN_CACHE_MAX:
+                cache.clear()
+            cache[key] = None
+            return self._assign_rates_scalar(dirty, touched)
+        if not plan:
+            if len(cache) >= _PLAN_CACHE_MAX:
+                cache.clear()
+            plan = cache[key] = _ComponentPlan(dirty)
+        self._assign_rates_vector(touched, plan)
+
+    def _assign_rates_scalar(self, dirty: List[Flow],
+                             touched: Dict[Resource, None]) -> None:
+        """The dict-based reference solver (pre-vectorization form).
+
         All working collections are insertion-ordered dicts-as-sets so
         the freezing order — and with it the floating-point rounding of
         the residual-capacity subtractions — is identical on every run.
@@ -448,6 +618,10 @@ class FluidNetwork:
         order: a component's flows only ever compete among themselves,
         so the sequence of capacity subtractions on its resources is
         the same one a global pass performs.
+
+        Retained both as the fast path for small components and as the
+        executable reference the sampled invariant check re-solves
+        with (see :meth:`_check_invariants`).
         """
         unfixed: Dict[Flow, None] = dict.fromkeys(dirty)
         # Flows with an empty path are only demand-limited.
@@ -537,6 +711,115 @@ class FluidNetwork:
             avail[res] = left if left > 0.0 else 0.0
             res_flows[res].pop(flow, None)
 
+    def _assign_rates_vector(self, touched: Dict[Resource, None],
+                             plan: _ComponentPlan) -> None:
+        """Progressive filling over the component's array layout.
+
+        Arithmetic twin of :meth:`_assign_rates_scalar` (see the
+        dispatch note in :meth:`_assign_rates`): denominators are
+        left-to-right ``np.cumsum`` sums over the ``W`` rows with fixed
+        flows zeroed (adding 0.0 is exact for the non-negative products
+        here), the water level is an order-independent exact ``min``,
+        and the per-flow residual-capacity subtractions of
+        :meth:`_fix_vec` stay sequential in the scalar solver's freeze
+        order — those are the only order-dependent roundings.
+        """
+        for flow in plan.empty:
+            flow.rate = flow.demand
+        for res in plan.resources:
+            touched[res] = None
+        flows = plan.flows
+        nf = len(flows)
+        if not nf:
+            return
+        demand_l = [f.demand for f in flows]
+        demand = np.array(demand_l)
+        weights_l = plan.weights_l
+        W = plan.W
+        M = plan.M
+        # Residual capacities live in a plain Python list: the debits
+        # of _fix_vec are sequential scalar float ops (order-dependent
+        # rounding — the bit-identity constraint), and list indexing
+        # beats numpy scalar indexing severalfold there.  The array
+        # view is materialized once per water level below.
+        avail_l = [r._capacity for r in plan.resources]
+        active = np.ones(nf, dtype=bool)
+        n_active = nf
+        one_rel = 1.0 + _REL_TOL
+        while n_active:
+            denom = np.cumsum(W * active, axis=1)[:, -1]
+            pos = denom > 0.0
+            if pos.any():
+                avail = np.array(avail_l)
+                level = float((avail[pos] / denom[pos]).min())
+            else:
+                level = math.inf
+            if not math.isfinite(level):
+                # No binding resource left: remaining flows must be
+                # demand-limited.  Fix in activation order, raising at
+                # the first unbounded flow exactly like the scalar.
+                for j in np.nonzero(active)[0].tolist():
+                    d = demand_l[j]
+                    if not math.isfinite(d):
+                        raise SimulationError(
+                            f"flow {flows[j].label!r} has unbounded rate")
+                    self._fix_vec(plan, j, d, avail_l, active)
+                break
+
+            # Demand-limited flows below the water level freeze first.
+            limited = active & (demand <= plan.weights * level * one_rel)
+            if limited.any():
+                fixed = np.nonzero(limited)[0].tolist()
+                for j in fixed:
+                    self._fix_vec(plan, j, demand_l[j], avail_l, active)
+                n_active -= len(fixed)
+                continue
+
+            # Otherwise freeze every flow crossing a bottleneck
+            # resource, re-deriving each row's denominator after the
+            # freezes of earlier rows in this same pass.
+            threshold = level * one_rel
+            froze = 0
+            for i in range(len(plan.resources)):
+                members = M[i] & active
+                if not members.any():
+                    continue
+                denom_i = np.cumsum(W[i] * members)[-1]
+                if denom_i <= 0.0:
+                    continue
+                if avail_l[i] / denom_i <= threshold:
+                    for j in np.nonzero(members)[0].tolist():
+                        self._fix_vec(plan, j, weights_l[j] * level,
+                                      avail_l, active)
+                        froze += 1
+            if froze:
+                n_active -= froze
+            else:  # pragma: no cover - numerical safety net
+                for j in np.nonzero(active)[0].tolist():
+                    self._fix_vec(plan, j, weights_l[j] * level,
+                                  avail_l, active)
+                n_active = 0
+
+    @staticmethod
+    def _fix_vec(plan: _ComponentPlan, j: int, rate: float,
+                 avail_l: List[float], active: np.ndarray) -> None:
+        """Freeze plan flow *j* at *rate* and debit its path's capacity
+        (same clamp and operand order as :meth:`_fix`).
+
+        The debit loop is scalar Python over the plan's ``(resource
+        index, usage)`` pairs and a plain-list ``avail_l``: its
+        rounding is order-dependent (that is the whole bit-identity
+        constraint), so it cannot be batched, and numpy indexing would
+        only add dispatch overhead to scalar float arithmetic that is
+        already bit-exact against the scalar solver's dicts.
+        """
+        r = rate if rate > 0.0 else 0.0
+        plan.flows[j].rate = r
+        for i, u in plan.paths[j]:
+            left = avail_l[i] - r * u
+            avail_l[i] = left if left > 0.0 else 0.0
+        active[j] = False
+
     # -- runtime self-checks (--check-invariants) --------------------------
     def _component_of(self, flow: Optional[Flow] = None,
                       resource: Optional[Resource] = None) -> str:
@@ -568,23 +851,44 @@ class FluidNetwork:
         self._n_solves += 1
         if _obs_context._ACTIVE is not None:
             _obs_context._ACTIVE.on_invariant_check()
-        for flow in dirty:
-            expected = tuple(flow.usage_on(res) for res in flow.resources)
-            if flow._usages != expected:
-                self._violation(
-                    f"usage cache of flow {flow.label or 'anon'!r} is "
-                    f"corrupted: cached {flow._usages!r} != authoritative "
-                    f"{expected!r} in {self._component_of(flow=flow)}")
-            rate = flow.rate
-            if not math.isfinite(rate) or rate < 0.0:
-                self._violation(
-                    f"flow {flow.label or 'anon'!r} has invalid rate "
-                    f"{rate!r} in {self._component_of(flow=flow)}")
-            if rate > flow.demand * (1.0 + _REL_TOL):
-                self._violation(
-                    f"flow {flow.label or 'anon'!r} rate {rate!r} exceeds "
-                    f"its demand cap {flow.demand!r} in "
-                    f"{self._component_of(flow=flow)}")
+        n = len(dirty)
+        if n >= self._vec_min:
+            # Batched form of the per-flow checks below, so the guard
+            # stays affordable on the components the vectorized solver
+            # targets.  The per-flow loops only run to name a culprit.
+            rates = np.fromiter((f.rate for f in dirty), float, n)
+            demands = np.fromiter((f.demand for f in dirty), float, n)
+            if (~np.isfinite(rates) | (rates < 0.0)).any():
+                for flow in dirty:
+                    rate = flow.rate
+                    if not math.isfinite(rate) or rate < 0.0:
+                        self._violation(
+                            f"flow {flow.label or 'anon'!r} has invalid "
+                            f"rate {rate!r} in "
+                            f"{self._component_of(flow=flow)}")
+            if (rates > demands * (1.0 + _REL_TOL)).any():
+                for flow in dirty:
+                    if flow.rate > flow.demand * (1.0 + _REL_TOL):
+                        self._violation(
+                            f"flow {flow.label or 'anon'!r} rate "
+                            f"{flow.rate!r} exceeds its demand cap "
+                            f"{flow.demand!r} in "
+                            f"{self._component_of(flow=flow)}")
+            for flow in dirty:
+                self._check_usage_cache(flow)
+        else:
+            for flow in dirty:
+                self._check_usage_cache(flow)
+                rate = flow.rate
+                if not math.isfinite(rate) or rate < 0.0:
+                    self._violation(
+                        f"flow {flow.label or 'anon'!r} has invalid rate "
+                        f"{rate!r} in {self._component_of(flow=flow)}")
+                if rate > flow.demand * (1.0 + _REL_TOL):
+                    self._violation(
+                        f"flow {flow.label or 'anon'!r} rate {rate!r} "
+                        f"exceeds its demand cap {flow.demand!r} in "
+                        f"{self._component_of(flow=flow)}")
         seen_res: Set[Resource] = set()
         for flow in dirty:
             for res in flow.resources:
@@ -600,7 +904,12 @@ class FluidNetwork:
                         f"{self._component_of(resource=res)}")
         if self._n_solves % _inv.SAMPLE_EVERY == 0 and self._flows:
             snapshot = [(f, f.rate) for f in self._flows]
-            self._assign_rates(sorted(self._flows, key=lambda f: f._seq), {})
+            # The reference re-solve is always the scalar solver: the
+            # cross-check then validates both the incremental-component
+            # invariant *and* (when the dirty solve ran vectorized) the
+            # scalar/vector bit-identity contract in one comparison.
+            self._assign_rates_scalar(
+                sorted(self._flows, key=lambda f: f._seq), {})
             for flow, incremental in snapshot:
                 if flow.rate != incremental:
                     globally = flow.rate
@@ -610,6 +919,25 @@ class FluidNetwork:
                         f"flow {flow.label or 'anon'!r}: component gave "
                         f"{incremental!r}, from-scratch gave {globally!r} "
                         f"in {self._component_of(flow=flow)}")
+
+    def _check_usage_cache(self, flow: Flow) -> None:
+        """Verify one flow's cached per-resource usage multipliers
+        against the authoritative usage map/scalar."""
+        if flow._usage_map is None:
+            # Scalar usage (the overwhelmingly common case): the cache
+            # must be the scalar repeated per path resource — checked
+            # without re-resolving usage_on per resource.
+            scalar = flow._usage_scalar
+            ok = all(u == scalar for u in flow._usages)
+        else:
+            ok = flow._usages == tuple(
+                flow.usage_on(res) for res in flow.resources)
+        if not ok:
+            expected = tuple(flow.usage_on(res) for res in flow.resources)
+            self._violation(
+                f"usage cache of flow {flow.label or 'anon'!r} is "
+                f"corrupted: cached {flow._usages!r} != authoritative "
+                f"{expected!r} in {self._component_of(flow=flow)}")
 
     def _violation(self, message: str) -> None:
         if _obs_context._ACTIVE is not None:

@@ -12,7 +12,10 @@ themselves at runtime:
   and demand-capped after every rate solve;
 * the per-flow usage caches agree with the authoritative usage maps;
 * on a sampled fraction of solves, the dirty-component solution is
-  cross-checked **bitwise** against a from-scratch global solve;
+  cross-checked **bitwise** against a from-scratch global solve — the
+  global reference deliberately runs the *scalar* solver, so with the
+  vectorized component path (PR 8) enabled this one comparison also
+  pins vector-vs-scalar bit-equivalence on live workloads;
 * event time never moves backwards through the engine's heap.
 
 A failed check raises :class:`InvariantViolation` naming the culprit

@@ -1,0 +1,89 @@
+"""Fluid-solver micro-benchmark drivers.
+
+Shared between the pytest-benchmark suite (``benchmarks/
+test_fluid_solver.py``) and ``repro bench`` so the committed
+``BENCH_*.json`` baselines track the solver itself, not only the
+figure sweeps that happen to exercise it.
+
+Two shapes:
+
+* :func:`churn` — many small components (fig10-style: one bus per
+  socket) under start/finish/capacity churn.  Components stay below
+  the vectorization threshold, so this guards the scalar path and the
+  dirty-component bookkeeping.
+* :func:`churn_wide` — a few wide components (fabric-style: dozens of
+  flows sharing a bus *and* a link) re-solved repeatedly under
+  capacity wiggles.  Components sit above the threshold, so this
+  guards the vectorized solver and its component-plan cache.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.fluid import Flow, FluidNetwork, Resource
+
+__all__ = ["churn", "churn_wide"]
+
+
+def churn(n_components: int = 16, per: int = 12,
+          rounds: int = 40) -> Tuple[int, float]:
+    """Drive isolated bus components through start/finish/capacity churn.
+
+    Returns (events, total simulated seconds) so callers can sanity
+    check that all work actually happened.
+    """
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    buses = [Resource(f"bus{i}", 100.0) for i in range(n_components)]
+    events = 0
+    for r in range(rounds):
+        flows = [net.start_flow(Flow([buses[i % n_components]],
+                                     size=50.0 + (i % per),
+                                     demand=40.0))
+                 for i in range(n_components * per)]
+        events += len(flows)
+        # Mid-round capacity wiggle on every component (the fig10
+        # set_core_activity pattern), then drain.
+        sim.run(until=sim.now + 0.2)
+        for i, bus in enumerate(buses):
+            bus.set_capacity(90.0 + (r + i) % 20)
+            events += 1
+        sim.run()
+        assert all(f.done.triggered for f in flows)
+    return events, sim.now
+
+
+def churn_wide(per: int = 128, groups: int = 16, rounds: int = 6,
+               wiggles: int = 40) -> Tuple[int, float]:
+    """Re-solve one wide fabric component under trunk-capacity churn.
+
+    Every flow crosses a shared trunk plus its group's bus and link, so
+    all *per* flows form one connected component — large enough for the
+    vectorized solver.  Each round starts the block once and then
+    wiggles the trunk capacity *wiggles* times: every wiggle re-solves
+    the same membership, which is exactly the access pattern the
+    component-plan and dirty-component caches amortize.
+    """
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    trunk = Resource("trunk", 5000.0)
+    buses = [Resource(f"bus{i}", 400.0) for i in range(groups)]
+    links = [Resource(f"link{i}", 250.0) for i in range(groups)]
+    events = 0
+    for r in range(rounds):
+        flows = [net.start_flow(Flow(
+                    [trunk, buses[i % groups], links[i % groups]],
+                    size=400.0 + (i % per),
+                    demand=6.0 + (i % 5),
+                    usage={links[i % groups]: 1.5}))
+                 for i in range(per)]
+        events += len(flows)
+        for k in range(wiggles):
+            sim.run(until=sim.now + 0.05)
+            trunk.set_capacity(4800.0 + (r + k) % 400)
+            events += 1
+        sim.run()
+        assert all(f.done.triggered for f in flows)
+    return events, sim.now

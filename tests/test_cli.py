@@ -98,7 +98,10 @@ def test_bench_jobs_records_both_laps(capsys, tmp_path):
     doc = json.loads(out.read_text())
     assert doc["jobs"] == 2
     assert doc["seconds_parallel"]["fig9"] > 0
-    assert set(doc["seconds_parallel"]) == set(doc["seconds"])
+    # Solver microbenches run in the serial lap only (they never touch
+    # the executor pool); every figure appears in both laps.
+    assert set(doc["seconds_parallel"]) <= set(doc["seconds"])
+    assert {"fluid_churn", "fluid_churn_wide"} <= set(doc["seconds"])
 
 
 def test_log_level_flag(capsys):

@@ -390,6 +390,105 @@ def test_conservation_with_incremental_solver(cap, sizes):
 
 
 # ---------------------------------------------------------------------------
+# Property test: vectorized component solve == scalar solve, bit for bit
+# ---------------------------------------------------------------------------
+
+vec_op_spec = st.tuples(
+    st.sampled_from(["start", "start", "stop", "demand", "capacity",
+                     "advance"]),
+    st.floats(min_value=0.1, max_value=100.0),   # demand / capacity / dt
+    st.floats(min_value=0.25, max_value=4.0),    # weight
+    st.floats(min_value=0.5, max_value=2.0),     # usage multiplier
+    st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=3,
+             unique=True),                        # resource indices
+    st.floats(min_value=5.0, max_value=500.0),   # size
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    caps=st.lists(st.floats(min_value=1.0, max_value=200.0),
+                  min_size=6, max_size=6),
+    ops=st.lists(vec_op_spec, min_size=1, max_size=24),
+)
+def test_vectorized_solve_matches_scalar_bitwise(caps, ops):
+    """Two networks driven through the identical randomized churn —
+    one forced onto the vectorized component solve (``_vec_min = 1``,
+    warm-up off so plans build immediately), one pinned to the scalar
+    reference — must agree bit for bit on every rate, every transferred
+    byte count, and the simulated clock.  This is the seeded-replay
+    bit-identity contract: dispatch between the two paths may depend on
+    component size, so they must be arithmetically indistinguishable.
+    """
+    def build():
+        sim = Simulator()
+        net = FluidNetwork(sim)
+        res = [Resource(f"r{i}", caps[i]) for i in range(6)]
+        return sim, net, res
+
+    sim_v, net_v, res_v = build()
+    net_v._vec_min = 1           # noqa: SLF001 - always vectorize
+    net_v._plan_warmup = False   # noqa: SLF001 - build plans eagerly
+    sim_s, net_s, res_s = build()
+    net_s._vec_min = 1 << 30     # noqa: SLF001 - never vectorize
+
+    all_v, all_s = [], []
+    for kind, value, weight, usage, idxs, size in ops:
+        live_v = [f for f in all_v if f.active]
+        live_s = [f for f in all_s if f.active]
+        if kind == "advance":
+            dt = value / 50.0
+            sim_v.run(until=sim_v.now + dt)
+            sim_s.run(until=sim_s.now + dt)
+        elif kind == "start" or not live_v:
+            for net, res, acc in ((net_v, res_v, all_v),
+                                  (net_s, res_s, all_s)):
+                acc.append(net.transfer(
+                    [res[i] for i in idxs], size=size, demand=value,
+                    weight=weight, usage=usage))
+        elif kind == "stop":
+            j = len(idxs) % len(live_v)
+            net_v.stop_flow(live_v[j])
+            net_s.stop_flow(live_s[j])
+        elif kind == "demand":
+            j = len(idxs) % len(live_v)
+            net_v.set_demand(live_v[j], value)
+            net_s.set_demand(live_s[j], value)
+        else:
+            res_v[idxs[0]].set_capacity(value)
+            res_s[idxs[0]].set_capacity(value)
+        for fv, fs in zip(all_v, all_s):
+            assert fv.rate == fs.rate, (fv.label, fv.rate, fs.rate)
+            assert fv.transferred == fs.transferred
+
+    sim_v.run()
+    sim_s.run()
+    assert sim_v.now == sim_s.now
+    for fv, fs in zip(all_v, all_s):
+        assert fv.transferred == fs.transferred
+        assert fv.done.triggered == fs.done.triggered
+
+
+def test_stop_noops_counter_ticks_on_completed_flow():
+    """Stopping an already-finished flow is an explicit no-op: the
+    ``fluid.stop_noops`` counter ticks, ``on_flow_end`` does not fire a
+    second time, and repeated stops keep counting."""
+    with telemetry_context(trace=False) as tele:
+        sim, net = make_net()
+        link = Resource("link", 10.0)
+        flow = net.transfer([link], size=10.0)
+        sim.run()
+        assert flow.done.triggered
+        got = net.stop_flow(flow)
+        assert got == flow.transferred
+        net.stop_flow(flow)
+        reg = tele.registry
+        assert reg.counter("fluid.stop_noops").value == 2.0
+        assert reg.counter("fluid.flows_completed").value == 1.0
+        assert reg.counter("fluid.flows_aborted").value == 0.0
+
+
+# ---------------------------------------------------------------------------
 # Engine: generation-based heap-entry reuse
 # ---------------------------------------------------------------------------
 

@@ -129,3 +129,18 @@ def test_campaign_run_attaches_measurer_end_to_end(tmp_path):
     assert exp["trials"] == 2
     assert exp["failed"] == 0
     assert exp["pending"] == 0
+
+
+def test_eta_excludes_cache_replays(tmp_path):
+    """Warm resume: ~0s cache replays must not drag the mean point
+    duration (and hence the ETA) toward zero."""
+    m = _measurer(tmp_path)
+    m.begin_sweep("fig1", total=4, trials=1, cached=2, jobs=1)
+    m.on_point("fig1", "k1", 0, "replayed", 0.001, None)
+    m.on_point("fig1", "k2", 0, "replayed", 0.002, None)
+    # Only cache hits so far: no duration estimate, no ETA.
+    assert m.eta_seconds("fig1") is None
+    assert m.progress()["experiments"]["fig1"]["mean_point_s"] is None
+    m.on_point("fig1", "k3", 0, "ok", 3.0, None)
+    # 1 pending x mean(3.0) / 1 job — the replays' walls are excluded.
+    assert m.eta_seconds("fig1") == 3.0

@@ -167,3 +167,40 @@ def test_counter_only_export_has_no_quantiles():
     reg.counter("c").inc()
     reg.gauge("g").set(2.0)
     assert "quantiles" not in reg.to_json()
+
+
+def test_overflow_quantiles_clamp_to_last_bound_and_flag():
+    """Ranks landing in the implicit overflow bucket have no upper edge:
+    the estimate clamps to the last bound and says so."""
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 2.0])
+    for _ in range(10):
+        h.observe(100.0)
+    q = h.to_state()["quantiles"]
+    assert q["p50"] == q["p95"] == q["p99"] == 2.0
+    assert q["p50_clamped"] is q["p95_clamped"] is q["p99_clamped"] is True
+
+
+def test_partial_overflow_flags_only_tail_quantiles():
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 2.0])
+    for _ in range(9):
+        h.observe(0.5)
+    h.observe(100.0)
+    q = h.to_state()["quantiles"]
+    assert "p50_clamped" not in q
+    assert q["p50"] < 1.0
+    assert q["p99"] == 2.0
+    assert q["p99_clamped"] is True
+
+
+def test_healthy_histogram_export_has_no_clamp_keys():
+    """Byte-identity guard: exports without overflow ranks must keep
+    their exact pre-existing key set."""
+    reg = MetricsRegistry()
+    h = reg.histogram("h", buckets=[1.0, 2.0, 4.0])
+    for v in (0.5, 1.5, 3.0):
+        h.observe(v)
+    q = h.to_state()["quantiles"]
+    assert set(q) == {"p50", "p95", "p99"}
+    assert "clamped" not in reg.to_json()

@@ -165,3 +165,53 @@ def test_failures_are_trial_labelled(tmp_path):
     assert len(fails) == 1
     assert fails[0]["trial"] == 1
     assert res.status_counts() == {"ok": 1, "failed": 1}
+
+
+# -- non-finite sample handling ---------------------------------------------
+
+def test_summarize_drops_nan_with_warning():
+    from repro.analysis.stats import NonFiniteSampleWarning, summarize
+    with pytest.warns(NonFiniteSampleWarning):
+        s = summarize([1.0, float("nan"), 3.0, float("inf")])
+    assert s.median == 2.0
+    assert (s.n, s.dropped) == (2, 2)
+
+
+def test_summarize_all_nonfinite_raises():
+    from repro.analysis.stats import summarize
+    with pytest.raises(ValueError, match="non-finite"):
+        summarize([float("nan"), float("inf")])
+
+
+def test_summarize_healthy_sample_has_no_dropped_and_no_warning():
+    import warnings
+
+    from repro.analysis.stats import summarize
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        s = summarize([1.0, 2.0, 3.0])
+    assert (s.n, s.dropped) == (3, 0)
+
+
+def test_aggregate_drops_nonfinite_trial_rows_with_warning():
+    from repro.analysis.stats import NonFiniteSampleWarning
+    nan = float("nan")
+    with pytest.warns(NonFiniteSampleWarning):
+        agg = aggregate_trial_series([
+            {"lat": [[1.0, 10.0, 9.0, 11.0]]},
+            {"lat": [[1.0, nan, 9.0, 11.0]]},   # poisoned median
+            {"lat": [[1.0, 30.0, 27.0, 33.0]]},
+        ])
+    x, med, p10, p90 = agg["lat"][0]
+    assert med == 20.0                           # median of the finite pair
+    assert (p10, p90) == (9.0, 33.0)
+    assert math.isfinite(med)
+
+
+def test_aggregate_all_nonfinite_point_raises():
+    nan = float("nan")
+    with pytest.raises(ValueError, match="non-finite"):
+        aggregate_trial_series([
+            {"lat": [[1.0, nan, 9.0, 11.0]]},
+            {"lat": [[1.0, 10.0, nan, 11.0]]},
+        ])
