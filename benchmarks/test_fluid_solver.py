@@ -14,11 +14,16 @@ the identical workloads for the committed ``BENCH_*.json`` baselines.
   fabric component re-solved repeatedly under trunk-capacity wiggles —
   the regime the vectorized component solve and the dirty-component
   memo target.
+* ``test_fluid_tiny_components`` (PR 9 tentpole): 1–2-flow component
+  churn — the closed-form small-component fast path.
+* ``test_sampler_dense`` (PR 9 tentpole): dense periodic sampling
+  under activity churn — the epoch-batched sampler.
 """
 
 from conftest import note, run_once
 
-from repro.sim.microbench import churn, churn_wide
+from repro.sim.microbench import (churn, churn_wide, sampler_dense,
+                                  tiny_components)
 
 N_COMPONENTS = 16
 FLOWS_PER_COMPONENT = 12
@@ -47,3 +52,17 @@ def test_fluid_wide_component_resolve(benchmark):
          wiggles=WIDE_ROUNDS * WIDE_WIGGLES,
          events=events, simulated_seconds=round(sim_seconds, 3))
     assert events > WIDE_FLOWS * WIDE_ROUNDS
+
+
+def test_fluid_tiny_components(benchmark):
+    events, sim_seconds = run_once(benchmark, tiny_components)
+    note(benchmark, events=events,
+         simulated_seconds=round(sim_seconds, 3))
+    assert events > 0
+
+
+def test_sampler_dense(benchmark):
+    samples, sim_seconds = run_once(benchmark, sampler_dense)
+    note(benchmark, samples=samples,
+         simulated_seconds=round(sim_seconds, 3))
+    assert samples > 0

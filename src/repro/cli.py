@@ -95,15 +95,90 @@ def _bench_lap(names, spec: str, jobs: int) -> Dict[str, float]:
 def _bench_micro() -> Dict[str, float]:
     """Time the fluid-solver microbenches (the shapes of
     benchmarks/test_fluid_solver.py, shared via repro.sim.microbench)."""
-    from repro.sim.microbench import churn, churn_wide
+    from repro.sim.microbench import (churn, churn_wide, sampler_dense,
+                                      tiny_components)
     out: Dict[str, float] = {}
     for name, fn in (("fluid_churn", churn),
-                     ("fluid_churn_wide", churn_wide)):
+                     ("fluid_churn_wide", churn_wide),
+                     ("sampler_dense", sampler_dense),
+                     ("tiny_components", tiny_components)):
         t0 = time.perf_counter()
         fn()
         out[name] = round(time.perf_counter() - t0, 3)
         print(f"[bench micro] {name}: {out[name]:.1f}s", file=sys.stderr)
     return out
+
+
+def _profile(args) -> int:
+    """cProfile one --fast experiment and write the profile artifact.
+
+    Runs under a metrics-only telemetry sink with the opt-in engine
+    counters enabled, so the artifact records where the time went *and*
+    what the event engine did (dispatches, stale skips, compactions).
+    """
+    import cProfile
+    import io
+    import os
+    import platform
+    import pstats
+
+    name = args.experiment
+    if name not in registry.names():
+        print(f"unknown experiment: {name!r} (see `repro list`)",
+              file=sys.stderr)
+        return 2
+    os.environ["REPRO_ENGINE_COUNTERS"] = "1"
+    from repro.obs.telemetry import telemetry_context
+    out = args.out if args.out else f"PROFILE_{name}.txt"
+    top = args.top
+    profiler = cProfile.Profile()
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
+    with telemetry_context(trace=False, metrics=True) as tele:
+        profiler.enable()
+        run_experiment(name, spec=args.spec, fast=True)
+        profiler.disable()
+        run_wall = time.perf_counter() - wall0
+        run_cpu = time.process_time() - cpu0
+        engine_stats = {
+            metric_name: int(inst.value)
+            for (metric_name, _labels), inst in tele.registry
+            if metric_name.startswith("engine.")}
+    render0 = time.perf_counter()
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf).strip_dirs()
+    buf.write(f"# repro profile {name} (fast, spec={args.spec}, "
+              f"python {platform.python_version()})\n")
+    buf.write(f"# wall {run_wall:.3f}s, cpu {run_cpu:.3f}s\n")
+    for key, value in engine_stats.items():
+        buf.write(f"# {key} = {value}\n")
+    buf.write(f"\n== top {top} by cumulative time ==\n")
+    stats.sort_stats("cumulative").print_stats(top)
+    buf.write(f"\n== top {top} by internal time ==\n")
+    stats.sort_stats("tottime").print_stats(top)
+    text = buf.getvalue()
+    render_wall = time.perf_counter() - render0
+    with open(out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    if args.metrics:
+        # Per-phase wall-clock counters ride in the same registry the
+        # run populated (engine.* included when nonzero).
+        reg = tele.registry
+        reg.gauge("profile.run_wall_seconds").set(round(run_wall, 3))
+        reg.gauge("profile.run_cpu_seconds").set(round(run_cpu, 3))
+        reg.gauge("profile.render_wall_seconds").set(round(render_wall, 3))
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(reg.to_json(extra={"experiment": name,
+                                        "spec": args.spec}))
+    try:
+        print(text)
+        print(f"wrote {out}")
+    except BrokenPipeError:
+        # stdout went to a pager/head that quit; the report file is
+        # already written, so a quiet exit is the right behaviour.
+        import os as _os
+        _os.dup2(_os.open(_os.devnull, _os.O_WRONLY), 1)
+    return 0
 
 
 def _bench_tag(args) -> Optional[str]:
@@ -147,10 +222,19 @@ def _bench(args) -> int:
         "total_seconds": round(sum(seconds.values()), 3),
     }
     if args.jobs != 1:
-        parallel = _bench_lap(names, args.spec, jobs=args.jobs)
-        doc["jobs"] = args.jobs
-        doc["seconds_parallel"] = parallel
-        doc["total_seconds_parallel"] = round(sum(parallel.values()), 3)
+        if (os.cpu_count() or 1) <= 1:
+            # A 1-CPU host cannot overlap worker processes: the lap
+            # would only measure pool overhead and read as a perf
+            # regression in trend tooling.
+            doc["jobs"] = args.jobs
+            doc["seconds_parallel"] = "skipped_1cpu"
+            print("[bench] parallel lap skipped: host has 1 CPU",
+                  file=sys.stderr)
+        else:
+            parallel = _bench_lap(names, args.spec, jobs=args.jobs)
+            doc["jobs"] = args.jobs
+            doc["seconds_parallel"] = parallel
+            doc["total_seconds_parallel"] = round(sum(parallel.values()), 3)
     with open(out, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1, sort_keys=True)
         fh.write("\n")
@@ -313,6 +397,21 @@ def main(argv: Optional[list] = None) -> int:
                        help="also time the subset under a --jobs process "
                        "pool and record both laps side by side "
                        "(0 = cpu count)")
+    profile = sub.add_parser(
+        "profile", help="cProfile one --fast experiment and write a "
+        "PROFILE_<experiment>.txt artifact (top-N cumulative/internal "
+        "functions + engine hot-loop counters)")
+    profile.add_argument("experiment", help="experiment name "
+                         "(see `repro list`)")
+    profile.add_argument("--spec", default="henri")
+    profile.add_argument("--top", type=int, default=10,
+                         help="functions per ranking (default 10)")
+    profile.add_argument("--out", default=None,
+                         help="artifact path "
+                         "(default PROFILE_<experiment>.txt)")
+    profile.add_argument("--metrics", default=None, metavar="PATH",
+                         help="also export the run's metrics registry "
+                         "with per-phase wall-clock gauges as JSON")
     summary = sub.add_parser(
         "trace-summary",
         help="validate + summarise a Chrome-tracing JSON (from --trace)")
@@ -431,6 +530,9 @@ def main(argv: Optional[list] = None) -> int:
         if args.experiments is None:
             args.experiments = ",".join(registry.bench_names())
         return _bench(args)
+
+    if args.command == "profile":
+        return _profile(args)
 
     if args.command == "trace-summary":
         return _trace_summary(args)

@@ -234,7 +234,10 @@ def fig2(spec: MachineSpec | str = "henri", n_compute: int = 20,
               for c in m0.cores}
     probes["uncore_s0"] = lambda: m0.freq.uncore_hz(0) / 1e9
     probes["uncore_s1"] = lambda: m0.freq.uncore_hz(1) / 1e9
-    sampler = PeriodicSampler(sim, probes, period=sample_period).start()
+    # Every probe reads m0's frequency model only: one epoch source
+    # buys batched (or probe-skipping) sampling, see sim.trace.
+    sampler = PeriodicSampler(sim, probes, period=sample_period,
+                              epoch_sources=(m0.freq,)).start()
 
     pingpong = PingPong(world)
     lat_a: List[float] = []
@@ -398,7 +401,8 @@ def fig3bc(spec: MachineSpec | str = "henri", n_compute: int = 4,
 
     probes = {f"core{c.id}": (lambda cid=c.id: m0.freq.core_hz(cid) / 1e9)
               for c in m0.cores}
-    sampler = PeriodicSampler(sim, probes, period=sample_period).start()
+    sampler = PeriodicSampler(sim, probes, period=sample_period,
+                              epoch_sources=(m0.freq,)).start()
 
     comm_cores = {r.node_id: r.comm_core for r in world.ranks}
     runs = []

@@ -15,6 +15,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
+from repro.sim.trace import EpochSource
+
 __all__ = ["CoreCounterState", "CycleCounters"]
 
 
@@ -37,8 +39,14 @@ class CoreCounterState:
                                 self.contention_stall)
 
 
-class CycleCounters:
-    """Per-core counter bank for one machine."""
+class CycleCounters(EpochSource):
+    """Per-core counter bank for one machine.
+
+    An :class:`~repro.sim.trace.EpochSource`: every recorded slice
+    advances the epoch generation, so samplers probing counter
+    aggregates can reuse cached values between slices (and batch-emit
+    them) instead of re-walking the bank per tick.
+    """
 
     def __init__(self, core_ids: Iterable[int]):
         self._state: Dict[int, CoreCounterState] = {
@@ -53,6 +61,7 @@ class CycleCounters:
                 f"invalid slice: busy={busy}, mem_stall={mem_stall}")
         if contention_stall < 0 or contention_stall > mem_stall * (1 + 1e-9):
             raise ValueError("contention_stall must be within mem_stall")
+        self._bump_epoch()
         st = self._state[core_id]
         st.busy += busy
         st.mem_stall += min(mem_stall, busy)

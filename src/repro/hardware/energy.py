@@ -98,10 +98,13 @@ class EnergyMeter:
         if self._sampler is not None:
             raise RuntimeError("meter already running")
         self._start = self.machine.sim.now
+        # machine_power is a pure function of the frequency model's
+        # state (activity, core/uncore hz), so it epoch-batches.
         self._sampler = PeriodicSampler(
             self.machine.sim,
             {"power_w": lambda: self.model.machine_power(self.machine)},
-            period=self.period).start()
+            period=self.period,
+            epoch_sources=(self.machine.freq,)).start()
         return self
 
     def stop(self) -> EnergyReport:

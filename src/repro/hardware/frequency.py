@@ -25,6 +25,7 @@ import enum
 from typing import Dict, Optional
 
 from repro.hardware.presets import MachineSpec
+from repro.sim.trace import EpochSource
 
 __all__ = ["CoreActivity", "FrequencyModel"]
 
@@ -37,8 +38,13 @@ class CoreActivity(enum.Enum):
     AVX512 = "avx512"      # wide-vector work under the AVX-512 license
 
 
-class FrequencyModel:
+class FrequencyModel(EpochSource):
     """Tracks per-core activity and answers frequency queries.
+
+    Every frequency a probe can read is a pure function of this model's
+    state, so each mutator advances the :class:`EpochSource` generation
+    (notifying batch-mode samplers *before* the state moves) — the
+    epoch contract behind the cheap dense traces of Figures 2/3.
 
     Parameters
     ----------
@@ -65,6 +71,29 @@ class FrequencyModel:
         for socket in set(socket_of_core.values()):
             self._active_count[socket] = 0
             self._uncore_count[socket] = 0
+        # The dynamic uncore frequency and its capacity factor depend
+        # only on the per-socket streaming-core count, clamped at
+        # ``ramp_cores`` — a handful of distinct values per spec.
+        # Precompute both as count-indexed tables with the exact
+        # expressions of the formula path below, so lookups return
+        # bit-identical floats; the ``_uncore_fixed_hz`` pin bypasses
+        # the tables entirely.
+        uspec = spec.uncore
+        ramp = max(1, uspec.ramp_cores)
+        self._uncore_hz_table = tuple(
+            uspec.min_hz + (uspec.max_hz - uspec.min_hz)
+            * min(1.0, count / ramp)
+            for count in range(ramp + 1))
+        if uspec.max_hz == uspec.min_hz:
+            self._uncore_factor_table = tuple(
+                1.0 for _ in range(ramp + 1))
+        else:
+            floor = spec.memory.uncore_floor
+            self._uncore_factor_table = tuple(
+                floor + (1.0 - floor)
+                * ((hz - uspec.min_hz) / (uspec.max_hz - uspec.min_hz))
+                for hz in self._uncore_hz_table)
+        self._uncore_ramp = ramp
 
     # -- governor controls --------------------------------------------------
     def set_userspace(self, hz: Optional[float]) -> None:
@@ -75,6 +104,7 @@ class FrequencyModel:
                 raise ValueError(
                     f"{hz/1e9:.2f} GHz outside the userspace range "
                     f"[{lo/1e9:.2f}, {hi/1e9:.2f}] GHz")
+        self._bump_epoch()
         self._userspace_hz = hz
 
     def set_uncore(self, hz: Optional[float]) -> None:
@@ -82,6 +112,7 @@ class FrequencyModel:
         if hz is not None:
             if not (self.spec.uncore.min_hz <= hz <= self.spec.uncore.max_hz):
                 raise ValueError("uncore frequency outside permitted range")
+        self._bump_epoch()
         self._uncore_fixed_hz = hz
 
     def set_core_cap(self, core_id: int, hz: Optional[float]) -> None:
@@ -94,10 +125,12 @@ class FrequencyModel:
         if core_id not in self._socket_of_core:
             raise ValueError(f"unknown core id {core_id}")
         if hz is None:
+            self._bump_epoch()
             self._core_caps.pop(core_id, None)
         else:
             if hz <= 0:
                 raise ValueError("frequency cap must be > 0")
+            self._bump_epoch()
             self._core_caps[core_id] = float(hz)
 
     def core_cap(self, core_id: int) -> Optional[float]:
@@ -115,6 +148,7 @@ class FrequencyModel:
         communication thread passes ``False``).
         """
         socket = self._socket_of_core[core_id]
+        self._bump_epoch()
         old = self._activity[core_id]
         if (old is CoreActivity.IDLE) != (activity is CoreActivity.IDLE):
             self._active_count[socket] += 1 if old is CoreActivity.IDLE else -1
@@ -164,9 +198,9 @@ class FrequencyModel:
         """Instantaneous uncore frequency of *socket* in Hz."""
         if self._uncore_fixed_hz is not None:
             return self._uncore_fixed_hz
-        spec = self.spec.uncore
-        ramp = min(1.0, self._uncore_count[socket] / max(1, spec.ramp_cores))
-        return spec.min_hz + (spec.max_hz - spec.min_hz) * ramp
+        count = self._uncore_count[socket]
+        ramp = self._uncore_ramp
+        return self._uncore_hz_table[count if count < ramp else ramp]
 
     def uncore_capacity_factor(self, socket: int) -> float:
         """Memory-controller capacity scale for the socket's uncore freq.
@@ -174,9 +208,13 @@ class FrequencyModel:
         At maximum uncore frequency the factor is 1; at minimum it is the
         spec's ``uncore_floor``.
         """
+        if self._uncore_fixed_hz is None:
+            count = self._uncore_count[socket]
+            ramp = self._uncore_ramp
+            return self._uncore_factor_table[count if count < ramp else ramp]
         spec = self.spec.uncore
         if spec.max_hz == spec.min_hz:
             return 1.0
-        frac = (self.uncore_hz(socket) - spec.min_hz) / (spec.max_hz - spec.min_hz)
+        frac = (self._uncore_fixed_hz - spec.min_hz) / (spec.max_hz - spec.min_hz)
         floor = self.spec.memory.uncore_floor
         return floor + (1.0 - floor) * frac

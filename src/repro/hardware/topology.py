@@ -104,6 +104,13 @@ class Machine:
         # Base (max-uncore) controller capacities, for uncore rescaling.
         self._mc_base_cap = {n.id: n.controller.capacity
                              for n in self.numa_nodes}
+        # Last-applied per-socket capacity factors: factors are pure
+        # functions of the frequency model, so when none moved the
+        # rescale loop below is a guaranteed no-op and is skipped
+        # (nothing else ever writes a controller's capacity).
+        self._uncore_sockets = tuple(sorted(
+            {n.socket_id for n in self.numa_nodes}))
+        self._uncore_factors_seen: tuple = ()
         # Per-core streaming weight in [0, 1] (maintained by running
         # kernels); drives the PIO co-location penalty.  The weight is
         # the core's memory demand relative to its fair share of the
@@ -265,8 +272,14 @@ class Machine:
             _obs_context._ACTIVE.on_freq_change(self, core_id)
 
     def _apply_uncore_capacity(self) -> None:
+        freq = self.freq
+        factors = tuple(freq.uncore_capacity_factor(s)
+                        for s in self._uncore_sockets)
+        if factors == self._uncore_factors_seen:
+            return
+        self._uncore_factors_seen = factors
         for node in self.numa_nodes:
-            factor = self.freq.uncore_capacity_factor(node.socket_id)
+            factor = freq.uncore_capacity_factor(node.socket_id)
             new_cap = self._mc_base_cap[node.id] * factor
             if abs(new_cap - node.controller.capacity) > 1e-6 * new_cap:
                 node.controller.set_capacity(new_cap)

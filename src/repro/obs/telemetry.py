@@ -27,6 +27,7 @@ runs export byte-identical files.
 from __future__ import annotations
 
 import logging
+import os
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
@@ -84,6 +85,12 @@ class Telemetry:
         # Cached hot-path counter (None when metrics are off).
         self._sim_events = (self.registry.counter("sim.events")
                             if self.registry is not None else None)
+        # Engine hot-loop counters are opt-in (REPRO_ENGINE_COUNTERS=1,
+        # set by `repro profile`): materializing them by default would
+        # add keys to every metrics export and break byte-identity
+        # against pre-PR9 pinned artifacts.
+        self._engine_counters = os.environ.get(
+            "REPRO_ENGINE_COUNTERS", "") not in ("", "0")
 
     # -- run labelling -----------------------------------------------------
     def set_run(self, label: str) -> None:
@@ -135,6 +142,24 @@ class Telemetry:
         counter = self._sim_events
         if counter is not None:
             counter.value += 1.0
+
+    def on_engine_stats(self, dispatched: int, stale_skips: int,
+                        heap_compactions: int) -> None:
+        """Engine hot-loop deltas for one ``run()`` invocation.
+
+        Gated on ``REPRO_ENGINE_COUNTERS=1`` and materialized only when
+        nonzero (the ``executor.*`` discipline): default exports carry
+        no new keys and stay byte-identical.
+        """
+        registry = self.registry
+        if registry is None or not self._engine_counters:
+            return
+        if dispatched:
+            registry.counter("engine.events_dispatched").inc(dispatched)
+        if stale_skips:
+            registry.counter("engine.stale_skips").inc(stale_skips)
+        if heap_compactions:
+            registry.counter("engine.heap_compactions").inc(heap_compactions)
 
     # -- fluid network -------------------------------------------------------
     def on_flow_start(self, net, flow) -> None:

@@ -73,6 +73,8 @@ class Task:
     done: bool = False
     start_time: float = -1.0
     end_time: float = -1.0
+    # Memoized data_numa (False = not computed yet; None is a valid answer).
+    _data_numa: object = field(default=False, repr=False, compare=False)
 
     @property
     def duration(self) -> float:
@@ -81,12 +83,22 @@ class Task:
         return self.end_time - self.start_time
 
     def data_numa(self) -> Optional[int]:
-        """NUMA node of the task's dominant (largest) accessed handle."""
+        """NUMA node of the task's dominant (largest) accessed handle.
+
+        Accesses and buffer placement are fixed once a task is built
+        (buffers never migrate), so the answer is memoized — locality
+        schedulers ask for it on every queue scan.
+        """
+        cached = self._data_numa
+        if cached is not False:
+            return cached
         best = None
         for handle, _mode in self.accesses:
             if best is None or handle.size > best.size:
                 best = handle
-        return best.numa_id if best is not None else None
+        result = best.numa_id if best is not None else None
+        self._data_numa = result
+        return result
 
     def __hash__(self) -> int:
         return self.id

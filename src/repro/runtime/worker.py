@@ -41,6 +41,7 @@ class Worker:
         self.current_task: Optional[Task] = None
         self._requeue_on_crash = True
         self._process = None
+        self._rng = None  # lazily bound noise stream (one per worker)
 
     def start(self) -> None:
         self._process = self.machine.sim.process(self._loop())
@@ -136,7 +137,9 @@ class Worker:
     def _execute(self, task: Task) -> Generator:
         machine = self.machine
         sim = machine.sim
-        rng = machine.rng.stream(f"worker{self.core_id}")
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = machine.rng.stream(f"worker{self.core_id}")
         spec = machine.spec
         self.current_task = task
         task.start_time = sim.now

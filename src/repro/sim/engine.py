@@ -27,6 +27,35 @@ Example
 [1.5]
 >>> p.value
 'done'
+
+Engine internals (heap hygiene and the dispatch contract)
+---------------------------------------------------------
+Cancelling or rescheduling a handle does not remove its heap entry; the
+entry lingers as *stale* and is recognised (generation mismatch or
+cancelled flag) and dropped when it surfaces.  Hot fluid workloads
+re-arm completion handles on nearly every rate solve, so stale entries
+can outnumber live ones.  The simulator therefore keeps a running count
+of stale entries and, once they exceed both ``compact_min`` and half the
+heap, rebuilds the heap in place with only live entries
+(:meth:`Simulator._compact`).  Compaction never reorders live entries —
+dispatch order is the total order on ``(time, seq)`` and ``heapify``
+preserves it — so seeded artifacts are byte-identical with or without
+compaction.
+
+What *is* observable is the event count: every dispatched callback
+increments the ambient telemetry's ``sim.events`` counter, which lands
+in metrics exports and journal deltas.  Stale entries are skipped
+without dispatching (and were already skipped pre-compaction), so
+removing them early is identity-safe; changing the number of real
+dispatches is not.  Any optimisation here must preserve the exact
+sequence of dispatched ``(time, seq)`` pairs and the exact number of
+``schedule``/``reschedule`` calls (each consumes one sequence number).
+
+Telemetry and invariant toggles are sampled when ``run()`` (or
+``step()``) is entered; installing a telemetry sink or enabling
+invariant checks from *inside* a callback takes effect on the next
+``run()``/``step()`` call, not mid-loop.  All call sites in this
+repository install/enable before running.
 """
 
 from __future__ import annotations
@@ -60,14 +89,16 @@ class ScheduledHandle:
     completion updates).
     """
 
-    __slots__ = ("time", "cancelled", "fired", "daemon", "generation")
+    __slots__ = ("time", "cancelled", "fired", "daemon", "generation", "sim")
 
-    def __init__(self, time: float, daemon: bool = False):
+    def __init__(self, time: float, daemon: bool = False,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.cancelled = False
         self.fired = False
         self.daemon = daemon
         self.generation = 0
+        self.sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent).
@@ -78,8 +109,10 @@ class ScheduledHandle:
         e.g. a timeout that lost the race with its event would otherwise
         misreport state to whoever inspects it next).
         """
-        if not self.fired:
+        if not self.fired and not self.cancelled:
             self.cancelled = True
+            if self.sim is not None:
+                self.sim._note_stale(self.daemon)
 
 
 class Simulator:
@@ -89,13 +122,25 @@ class Simulator:
     order until the queue is empty or the horizon is reached.
     """
 
+    #: Stale entries tolerated before compaction is even considered.
+    compact_min = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
         self._queue: List[
             Tuple[float, int, ScheduledHandle, int, Callable, tuple]] = []
         self._processing_events: List[Event] = []
-        self._foreground = 0  # pending non-daemon entries
+        self._foreground = 0  # live (dispatchable) non-daemon entries
+        self._n_stale = 0     # stale entries still sitting in the heap
+        # Lifetime counters (cheap ints; surfaced by ``repro profile``
+        # and, behind an explicit opt-in, the metrics registry).
+        self.stale_skips = 0
+        self.heap_compactions = 0
+        self.events_dispatched = 0
+        #: Optional ``hook(time, seq, callback, args)`` invoked for every
+        #: *dispatched* event (tests: golden event-order pinning).
+        self.dispatch_hook: Optional[Callable] = None
 
     # -- time -------------------------------------------------------------
     @property
@@ -109,8 +154,14 @@ class Simulator:
         """Schedule ``callback(*args)`` to run after *delay* seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay!r})")
-        return self.schedule_at(self._now + delay, callback, *args,
-                                daemon=daemon)
+        time = self._now + delay
+        handle = ScheduledHandle(time, daemon, self)
+        self._seq += 1
+        heapq.heappush(self._queue,
+                       (time, self._seq, handle, 0, callback, args))
+        if not daemon:
+            self._foreground += 1
+        return handle
 
     def schedule_at(self, time: float, callback: Callable, *args: Any,
                     daemon: bool = False) -> ScheduledHandle:
@@ -121,7 +172,7 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r} < now={self._now!r}")
-        handle = ScheduledHandle(time, daemon)
+        handle = ScheduledHandle(time, daemon, self)
         self._seq += 1
         heapq.heappush(self._queue,
                        (time, self._seq, handle, 0, callback, args))
@@ -141,6 +192,10 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time!r} < now={self._now!r}")
+        # A still-pending entry becomes stale; its foreground slot (if
+        # any) transfers to the new entry.  A fired or cancelled handle
+        # has no live entry, so the new one claims a fresh slot.
+        superseded = not handle.fired and not handle.cancelled
         handle.time = time
         handle.cancelled = False
         handle.fired = False
@@ -149,9 +204,39 @@ class Simulator:
         heapq.heappush(
             self._queue,
             (time, self._seq, handle, handle.generation, callback, args))
-        if not handle.daemon:
+        if superseded:
+            self._n_stale += 1
+            if self._n_stale >= self.compact_min and \
+                    self._n_stale * 2 >= len(self._queue):
+                self._compact()
+        elif not handle.daemon:
             self._foreground += 1
         return handle
+
+    def _note_stale(self, daemon: bool) -> None:
+        """A pending heap entry just became stale (via ``cancel``)."""
+        self._n_stale += 1
+        if not daemon:
+            self._foreground -= 1
+        if self._n_stale >= self.compact_min and \
+                self._n_stale * 2 >= len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop stale entries and re-heapify, in place.
+
+        In place matters: ``run()`` holds a local reference to the queue
+        list, so the rebuild must mutate that same object.  Dispatch
+        order is unchanged — it is the total order on ``(time, seq)``,
+        which any heap over the surviving entries reproduces.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue
+                    if not (entry[2].cancelled
+                            or entry[3] != entry[2].generation)]
+        heapq.heapify(queue)
+        self._n_stale = 0
+        self.heap_compactions += 1
 
     def _schedule_event(self, event: Event) -> None:
         """Schedule an already-triggered event's callbacks to run now.
@@ -191,70 +276,140 @@ class Simulator:
             next event would be strictly after *until*, and ``now`` is
             advanced to *until*.  If omitted, runs until no *foreground*
             events remain (daemon entries alone never sustain the loop).
+
+        Telemetry/invariant switches are sampled on entry (see module
+        docstring); same-instant event bursts dispatch back-to-back
+        against those cached locals without re-reading ambient state.
         """
-        while self._queue:
-            if until is None and not self._foreground:
-                return
-            time, _seq, handle, gen, callback, args = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                return
-            heapq.heappop(self._queue)
-            if not handle.daemon:
-                self._foreground -= 1
-            if handle.cancelled or gen != handle.generation:
-                continue
-            handle.fired = True
-            if _inv.ENABLED and time < self._now:
-                raise _inv.InvariantViolation(
-                    f"event time moved backwards: popped {time!r} with "
-                    f"now={self._now!r} (heap corrupted)")
-            self._now = time
-            if _obs_context._ACTIVE is not None:
-                _obs_context._ACTIVE.on_sim_event()
-            callback(*args)
-        if until is not None and until > self._now:
-            self._now = until
+        queue = self._queue
+        pop = heapq.heappop
+        inv_on = _inv.ENABLED
+        telemetry = _obs_context._ACTIVE
+        on_sim_event = (None if telemetry is None
+                        else telemetry.on_sim_event)
+        hook = self.dispatch_hook
+        dispatched = 0
+        stale0 = self.stale_skips
+        compact0 = self.heap_compactions
+        try:
+            if until is None:
+                while queue:
+                    if not self._foreground:
+                        return
+                    time, seq, handle, gen, callback, args = pop(queue)
+                    if handle.cancelled or gen != handle.generation:
+                        self._n_stale -= 1
+                        self.stale_skips += 1
+                        continue
+                    if not handle.daemon:
+                        self._foreground -= 1
+                    handle.fired = True
+                    if inv_on and time < self._now:
+                        raise _inv.InvariantViolation(
+                            f"event time moved backwards: popped {time!r} "
+                            f"with now={self._now!r} (heap corrupted)")
+                    self._now = time
+                    dispatched += 1
+                    if on_sim_event is not None:
+                        on_sim_event()
+                    if hook is not None:
+                        hook(time, seq, callback, args)
+                    callback(*args)
+            else:
+                while queue:
+                    entry = queue[0]
+                    time = entry[0]
+                    if time > until:
+                        self._now = until
+                        return
+                    pop(queue)
+                    handle = entry[2]
+                    if handle.cancelled or entry[3] != handle.generation:
+                        self._n_stale -= 1
+                        self.stale_skips += 1
+                        continue
+                    if not handle.daemon:
+                        self._foreground -= 1
+                    handle.fired = True
+                    if inv_on and time < self._now:
+                        raise _inv.InvariantViolation(
+                            f"event time moved backwards: popped {time!r} "
+                            f"with now={self._now!r} (heap corrupted)")
+                    self._now = time
+                    dispatched += 1
+                    if on_sim_event is not None:
+                        on_sim_event()
+                    if hook is not None:
+                        hook(time, entry[1], entry[4], entry[5])
+                    entry[4](*entry[5])
+                if until > self._now:
+                    self._now = until
+        finally:
+            self.events_dispatched += dispatched
+            if telemetry is not None:
+                # Opt-in engine counters (REPRO_ENGINE_COUNTERS=1): the
+                # sink materializes only nonzero deltas, so default
+                # metrics exports stay byte-identical.
+                telemetry.on_engine_stats(
+                    dispatched,
+                    self.stale_skips - stale0,
+                    self.heap_compactions - compact0)
 
     def peek(self) -> float:
         """Time of the next pending event, or ``inf`` if none."""
-        while self._queue:
-            head = self._queue[0]
+        queue = self._queue
+        while queue:
+            head = queue[0]
             handle = head[2]
             if not (handle.cancelled or head[3] != handle.generation):
                 break
-            heapq.heappop(self._queue)
-            if not handle.daemon:
-                self._foreground -= 1
-        return self._queue[0][0] if self._queue else float("inf")
+            heapq.heappop(queue)
+            self._n_stale -= 1
+            self.stale_skips += 1
+        return queue[0][0] if queue else float("inf")
 
     def step(self) -> None:
         """Execute exactly the next pending callback."""
         while self._queue:
-            time, _seq, handle, gen, callback, args = \
+            time, seq, handle, gen, callback, args = \
                 heapq.heappop(self._queue)
+            if handle.cancelled or gen != handle.generation:
+                self._n_stale -= 1
+                self.stale_skips += 1
+                continue
             if not handle.daemon:
                 self._foreground -= 1
-            if handle.cancelled or gen != handle.generation:
-                continue
             handle.fired = True
             if _inv.ENABLED and time < self._now:
                 raise _inv.InvariantViolation(
                     f"event time moved backwards: popped {time!r} with "
                     f"now={self._now!r} (heap corrupted)")
             self._now = time
-            if _obs_context._ACTIVE is not None:
-                _obs_context._ACTIVE.on_sim_event()
+            self.events_dispatched += 1
+            telemetry = _obs_context._ACTIVE
+            if telemetry is not None:
+                telemetry.on_sim_event()
+            hook = self.dispatch_hook
+            if hook is not None:
+                hook(time, seq, callback, args)
             callback(*args)
             return
         raise SimulationError("step() on an empty event queue")
+
+    def engine_stats(self) -> dict:
+        """Lifetime engine counters (``repro profile`` / opt-in metrics)."""
+        return {
+            "engine.events_dispatched": self.events_dispatched,
+            "engine.stale_skips": self.stale_skips,
+            "engine.heap_compactions": self.heap_compactions,
+        }
 
 
 class Process(Event):
     """A running generator; also an event that fires on completion."""
 
     __slots__ = ("_generator", "_waiting_on", "_sleep_handle", "_sleep_gen",
-                 "name", "daemon")
+                 "_sleep_reuse", "name", "daemon")
 
     def __init__(self, sim: Simulator, generator: Generator, name: str = "",
                  daemon: bool = False):
@@ -262,6 +417,7 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self._sleep_handle: Optional[ScheduledHandle] = None
+        self._sleep_reuse: Optional[ScheduledHandle] = None
         self._sleep_gen = 0
         self.name = name or getattr(generator, "__name__", "process")
         self.daemon = daemon
@@ -328,9 +484,22 @@ class Process(Event):
                 # Same contract as Timeout: reject before scheduling.
                 raise ValueError(f"negative timeout delay: {target!r}")
             self._sleep_gen += 1
-            self._sleep_handle = self.sim.schedule(
-                target, self._sleep_fired, self._sleep_gen,
-                daemon=self.daemon)
+            # Re-arm the previous sleep handle when its entry has
+            # already fired: reschedule() consumes one sequence number,
+            # exactly like schedule(), but skips the handle allocation.
+            # An interrupted sleep leaves its entry pending (fired is
+            # False), so a fresh handle is used and the orphan entry
+            # still dispatches as a counted no-op.
+            sim = self.sim
+            reuse = self._sleep_reuse
+            if reuse is not None and reuse.fired:
+                self._sleep_handle = sim.reschedule(
+                    reuse, sim._now + target,  # noqa: SLF001
+                    self._sleep_fired, self._sleep_gen)
+            else:
+                self._sleep_handle = self._sleep_reuse = sim.schedule(
+                    target, self._sleep_fired, self._sleep_gen,
+                    daemon=self.daemon)
             return
         if not isinstance(target, Event):
             self._resume(

@@ -44,6 +44,7 @@ path solves a component (see DESIGN.md §4.1).
 from __future__ import annotations
 
 import math
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -57,6 +58,10 @@ __all__ = ["Resource", "Flow", "FluidNetwork"]
 
 _EPS = 1e-12
 _REL_TOL = 1e-9
+
+# Activation-order sort key (used on every restricted-scan path; an
+# attrgetter beats a lambda at these call counts).
+_SEQ_KEY = attrgetter("_seq")
 
 # Components below this many flows solve on the scalar path: numpy's
 # per-op dispatch overhead (~1–2 µs) swamps the win on small arrays,
@@ -269,6 +274,49 @@ class _ComponentPlan:
         self.paths = paths
 
 
+class _SmallPlan:
+    """Cached list layout of a sub-``_vec_min`` component.
+
+    The small-component solver's per-solve cost is dominated by
+    rebuilding its resource table and member/path lists; all of that is
+    immutable for a given membership (seqs are never reused, paths,
+    weights and usage multipliers are fixed at flow construction), so
+    it is built once per ``_comp_cache`` key.  Demands and capacities
+    are re-read each solve.  Orders (flow slots == activation order,
+    resources == first-touch order, members slot-ordered per resource)
+    mirror the scalar solver's dict iteration orders exactly.
+    """
+
+    __slots__ = ("flows", "empty", "resources", "members", "paths")
+
+    def __init__(self, dirty: Sequence[Flow]):
+        empty: List[Flow] = []
+        flows: List[Flow] = []
+        for f in dirty:
+            (flows if f.resources else empty).append(f)
+        self.empty = tuple(empty)
+        self.flows = tuple(flows)
+        index: Dict[Resource, int] = {}
+        resources: List[Resource] = []
+        members: List[List[Tuple[int, float]]] = []
+        paths: List[Tuple[Tuple[int, float], ...]] = []
+        for k, flow in enumerate(flows):
+            weight = flow.weight
+            path: List[Tuple[int, float]] = []
+            for res, wu in zip(flow.resources, flow._usages):
+                i = index.get(res)
+                if i is None:
+                    i = index[res] = len(resources)
+                    resources.append(res)
+                    members.append([])
+                members[i].append((k, weight * wu))
+                path.append((i, wu))
+            paths.append(tuple(path))
+        self.resources = tuple(resources)
+        self.members = tuple(tuple(m) for m in members)
+        self.paths = tuple(paths)
+
+
 class FluidNetwork:
     """Set of active flows over shared resources; owns rate assignment.
 
@@ -308,6 +356,15 @@ class FluidNetwork:
         # the same membership over and over; the graph traversal (and
         # its activation-order sort) is pure overhead for those.
         self._dirty_cache: Dict[object, List[Flow]] = {}
+        # Same-instant scan memos.  ``None`` means the next finished
+        # scan / completion-reschedule pass must cover every flow;
+        # a dict restricts it to the flows whose rate (or existence)
+        # changed since the last full pass *at the current instant*.
+        # Any time advance invalidates both (see _advance): with dt > 0
+        # every armed completion time and the finished predicate shift
+        # in floating point, so only a full pass is bit-faithful.
+        self._scan_candidates: Optional[Dict[Flow, None]] = None
+        self._resched_candidates: Optional[Dict[Flow, None]] = None
 
     # -- public API -------------------------------------------------------
     @property
@@ -424,6 +481,8 @@ class FluidNetwork:
                 # the non-negative byte counts accumulated here.
                 if flow.rate:
                     flow.transferred += flow.rate * dt
+            self._scan_candidates = None
+            self._resched_candidates = None
         self._last_update = now
 
     def _deactivate(self, flow: Flow) -> None:
@@ -431,6 +490,10 @@ class FluidNetwork:
         flow.rate = 0.0
         if self._dirty_cache:
             self._dirty_cache.clear()
+        if self._scan_candidates:
+            self._scan_candidates.pop(flow, None)
+        if self._resched_candidates:
+            self._resched_candidates.pop(flow, None)
         if flow._completion_handle is not None:
             flow._completion_handle.cancel()
             flow._completion_handle = None
@@ -493,7 +556,7 @@ class FluidNetwork:
         if len(dirty) <= 1:
             component = list(dirty)
         else:
-            component = sorted(dirty, key=lambda f: f._seq)
+            component = sorted(dirty, key=_SEQ_KEY)
         if key is not None:
             self._dirty_cache[key] = component
         return component
@@ -511,6 +574,12 @@ class FluidNetwork:
         pending_flows: List[Flow] = list(seed_flows)
         pending_res: List[Resource] = list(seed_resources)
         touched: Dict[Resource, None] = {}
+        # Seed flows (new or demand-changed) are finish candidates even
+        # before their first solve: a zero-size flow is done at start.
+        scan_cands = self._scan_candidates
+        if scan_cands is not None:
+            for flow in pending_flows:
+                scan_cands[flow] = None
         while True:
             # Complete every flow that is already done at this instant,
             # in insertion order, before re-solving: freed capacity
@@ -530,6 +599,16 @@ class FluidNetwork:
             pending_flows = []
             pending_res = []
             self._assign_rates(dirty, touched)
+            # Freshly solved flows are the only ones whose finish
+            # predicate or completion time can move at this instant.
+            scan_cands = self._scan_candidates
+            if scan_cands is not None:
+                for flow in dirty:
+                    scan_cands[flow] = None
+            resched_cands = self._resched_candidates
+            if resched_cands is not None:
+                for flow in dirty:
+                    resched_cands[flow] = None
             if _inv.ENABLED:
                 self._check_invariants(dirty)
         self._reschedule_completions()
@@ -540,11 +619,30 @@ class FluidNetwork:
         """Active flows whose remainder is numerically done, in
         insertion order (the inlined hot-loop form of
         :meth:`_is_finished`)."""
+        # At an unchanged instant only candidate flows (rate changed or
+        # newly seeded since the last scan) can newly satisfy the
+        # predicate; everything else was scanned-and-rejected with
+        # bitwise-identical operands.  Insertion order == activation
+        # order, so a seq sort restores the full scan's visit order.
+        cands = self._scan_candidates
+        if cands is None:
+            flows: Sequence[Flow] = self._flows
+            self._scan_candidates = {}
+        elif not cands:
+            # Nothing became a candidate since the last scan (the
+            # common second pass of a _recompute round-trip).
+            return []
+        elif len(cands) > 1:
+            flows = sorted(cands, key=_SEQ_KEY)
+            cands.clear()
+        else:
+            flows = list(cands)
+            cands.clear()
         # Representable-time floor at the current instant, hoisted out
         # of the per-flow check (see _is_finished).
         time_floor = max(1e-12, 8.0 * abs(self.sim.now) * 2.3e-16)
         finished = []
-        for flow in self._flows:
+        for flow in flows:
             size = flow.size
             if size is None:
                 continue
@@ -586,26 +684,447 @@ class FluidNetwork:
         order with the same operands — so the choice never changes a
         single bit of the resulting rates.
         """
-        if len(dirty) < self._vec_min:
-            return self._assign_rates_scalar(dirty, touched)
+        n = len(dirty)
+        if n < self._vec_min:
+            if n == 0:
+                return None
+            if n == 1:
+                return self._assign_rates_one(dirty[0], touched)
+            if n == 2:
+                return self._assign_rates_two(dirty, touched)
         key = tuple(f._seq for f in dirty)
         cache = self._comp_cache
         plan = cache.get(key, False)
         if plan is False and self._plan_warmup:
-            # First sighting of this membership: solve scalar and only
-            # mark the key.  Churn-once components (a burst of starts
-            # that never re-solves the same membership) never pay for a
-            # plan build; the second solve does, and every one after
-            # that amortizes it.
+            # First sighting of this membership: solve without a plan
+            # and only mark the key.  Churn-once components (a burst of
+            # starts that never re-solves the same membership) never pay
+            # for a plan build; the second solve does, and every one
+            # after that amortizes it.
             if len(cache) >= _PLAN_CACHE_MAX:
                 cache.clear()
             cache[key] = None
+            if n < self._vec_min:
+                return self._assign_rates_small(dirty, touched)
             return self._assign_rates_scalar(dirty, touched)
         if not plan:
             if len(cache) >= _PLAN_CACHE_MAX:
                 cache.clear()
-            plan = cache[key] = _ComponentPlan(dirty)
-        self._assign_rates_vector(touched, plan)
+            plan = cache[key] = (_SmallPlan(dirty) if n < self._vec_min
+                                 else _ComponentPlan(dirty))
+        if type(plan) is _SmallPlan:
+            self._assign_rates_small_plan(touched, plan)
+        else:
+            self._assign_rates_vector(touched, plan)
+
+    def _assign_rates_one(self, flow: Flow,
+                          touched: Dict[Resource, None]) -> None:
+        """Closed-form allocation for a single-flow component.
+
+        Arithmetic twin of :meth:`_assign_rates_scalar` on a one-flow
+        dirty list: the water level collapses to the minimum
+        ``capacity / (weight·usage)`` over the flow's (distinct)
+        resources, compared against the demand with the identical
+        ``(1 + _REL_TOL)`` guard, so the resulting rate is bit-equal.
+        """
+        if not flow.resources:
+            flow.rate = flow.demand
+            return
+        self._solve_single(flow, touched)
+
+    def _solve_single(self, flow: Flow,
+                      touched: Dict[Resource, None]) -> None:
+        """Rate for one flow with a non-empty path (shared by the 1- and
+        2-flow fast paths).  Duplicate resources in the path keep the
+        scalar solver's dict semantics: the *last* ``weight·usage``
+        product wins."""
+        weight = flow.weight
+        index: Dict[Resource, int] = {}
+        res_list: List[Resource] = []
+        prods: List[float] = []
+        for res, wu in zip(flow.resources, flow._usages):
+            i = index.get(res)
+            if i is None:
+                index[res] = len(res_list)
+                res_list.append(res)
+                prods.append(weight * wu)
+                touched[res] = None
+            else:
+                prods[i] = weight * wu
+        level = math.inf
+        for i, prod in enumerate(prods):
+            if prod <= 0:
+                continue
+            lvl = res_list[i].capacity / prod
+            if lvl < level:
+                level = lvl
+        if not math.isfinite(level):
+            if not math.isfinite(flow.demand):
+                raise SimulationError(
+                    f"flow {flow.label!r} has unbounded rate")
+            rate = flow.demand
+        elif flow.demand <= weight * level * (1 + _REL_TOL):
+            rate = flow.demand
+        else:
+            rate = weight * level
+        flow.rate = rate if rate > 0.0 else 0.0
+
+    def _assign_rates_two(self, dirty: List[Flow],
+                          touched: Dict[Resource, None]) -> None:
+        """Progressive filling specialised to a two-flow component.
+
+        Mirrors :meth:`_assign_rates_scalar` step for step on parallel
+        lists instead of dicts-of-dicts: same resource visit order
+        (first flow's path first), same two-term denominators (summed
+        first-flow-first, matching dict insertion order), same
+        demand-vs-bottleneck freeze order and the same residual
+        capacity debit order — so every rounding decision is identical
+        and the result is bit-equal to the reference solver.
+        """
+        remaining = []
+        for flow in dirty:
+            if not flow.resources:
+                flow.rate = flow.demand
+            else:
+                remaining.append(flow)
+        if not remaining:
+            return
+        if len(remaining) == 1:
+            return self._solve_single(remaining[0], touched)
+
+        index: Dict[Resource, int] = {}
+        res_list: List[Resource] = []
+        avail: List[float] = []
+        prods: List[List[Optional[float]]] = []
+        paths: Tuple[List[Tuple[int, float]], List[Tuple[int, float]]] = \
+            ([], [])
+        for k in (0, 1):
+            flow = remaining[k]
+            weight = flow.weight
+            path = paths[k]
+            for res, wu in zip(flow.resources, flow._usages):
+                i = index.get(res)
+                if i is None:
+                    i = index[res] = len(res_list)
+                    res_list.append(res)
+                    avail.append(res.capacity)
+                    prods.append([None, None])
+                    touched[res] = None
+                prods[i][k] = weight * wu
+                path.append((i, wu))
+
+        fixed = [False, False]
+        n_res = len(res_list)
+
+        def fix(k: int, rate: float) -> None:
+            flow = remaining[k]
+            flow.rate = rate = rate if rate > 0.0 else 0.0
+            for i, usage in paths[k]:
+                left = avail[i] - rate * usage
+                avail[i] = left if left > 0.0 else 0.0
+            fixed[k] = True
+
+        while True:
+            level = math.inf
+            for i in range(n_res):
+                pa, pb = prods[i]
+                if pa is None or fixed[0]:
+                    if pb is None or fixed[1]:
+                        continue
+                    denom = pb
+                elif pb is None or fixed[1]:
+                    denom = pa
+                else:
+                    denom = pa + pb
+                if denom <= 0:
+                    continue
+                lvl = avail[i] / denom
+                if lvl < level:
+                    level = lvl
+            if not math.isfinite(level):
+                for k in (0, 1):
+                    if fixed[k]:
+                        continue
+                    flow = remaining[k]
+                    if not math.isfinite(flow.demand):
+                        raise SimulationError(
+                            f"flow {flow.label!r} has unbounded rate")
+                    fix(k, flow.demand)
+                break
+
+            # NB: the demand guard must round exactly like the scalar
+            # solver's left-associative ``weight * level * (1 + tol)``;
+            # the bottleneck guard below hoists ``level * (1 + tol)``
+            # because the scalar compare is written that way too.
+            demand_limited = [
+                k for k in (0, 1)
+                if not fixed[k]
+                and remaining[k].demand
+                <= remaining[k].weight * level * (1 + _REL_TOL)]
+            guard = level * (1 + _REL_TOL)
+            if demand_limited:
+                for k in demand_limited:
+                    fix(k, remaining[k].demand)
+                if fixed[0] and fixed[1]:
+                    break
+                continue
+
+            froze = False
+            for i in range(n_res):
+                pa, pb = prods[i]
+                members = [k for k in (0, 1)
+                           if prods[i][k] is not None and not fixed[k]]
+                if not members:
+                    continue
+                if len(members) == 2:
+                    denom = pa + pb
+                else:
+                    denom = prods[i][members[0]]
+                if denom <= 0:
+                    continue
+                if avail[i] / denom <= guard:
+                    for k in members:
+                        if not fixed[k]:
+                            fix(k, remaining[k].weight * level)
+                            froze = True
+            if not froze:  # pragma: no cover - numerical safety net
+                for k in (0, 1):
+                    if not fixed[k]:
+                        fix(k, remaining[k].weight * level)
+            if fixed[0] and fixed[1]:
+                break
+
+    def _assign_rates_small(self, dirty: List[Flow],
+                            touched: Dict[Resource, None]) -> None:
+        """List-based progressive filling for mid-size components
+        (``2 < n < _vec_min``, and the 2-flow fallback's peer).
+
+        The dict-of-dicts machinery of :meth:`_assign_rates_scalar`
+        dominates its runtime for components of a handful of flows;
+        this twin keeps every float operation — denominator summation
+        order (slot order == dirty order == fset insertion order),
+        freeze order, residual debit order and all ``(1 + _REL_TOL)``
+        guards — bit-identical while replacing the dict churn with
+        parallel lists indexed by flow slot and resource index.
+        """
+        flows: List[Flow] = []
+        for flow in dirty:
+            if not flow.resources:
+                flow.rate = flow.demand
+            else:
+                flows.append(flow)
+        n = len(flows)
+        if n == 0:
+            return
+        if n == 1:
+            return self._solve_single(flows[0], touched)
+
+        index: Dict[Resource, int] = {}
+        res_list: List[Resource] = []
+        avail: List[float] = []
+        members: List[List[Tuple[int, float]]] = []
+        paths: List[List[Tuple[int, float]]] = []
+        weights: List[float] = []
+        demands: List[float] = []
+        for k, flow in enumerate(flows):
+            weight = flow.weight
+            weights.append(weight)
+            demands.append(flow.demand)
+            path: List[Tuple[int, float]] = []
+            paths.append(path)
+            for res, wu in zip(flow.resources, flow._usages):
+                i = index.get(res)
+                if i is None:
+                    i = index[res] = len(res_list)
+                    res_list.append(res)
+                    avail.append(res.capacity)
+                    members.append([])
+                    touched[res] = None
+                members[i].append((k, weight * wu))
+                path.append((i, wu))
+
+        fixed = [False] * n
+        n_res = len(res_list)
+        unfixed_left = n
+        tol = 1 + _REL_TOL
+
+        while unfixed_left:
+            level = math.inf
+            for i in range(n_res):
+                denom = 0.0
+                for k, prod in members[i]:
+                    if not fixed[k]:
+                        denom += prod
+                if denom <= 0:
+                    continue
+                lvl = avail[i] / denom
+                if lvl < level:
+                    level = lvl
+            if not math.isfinite(level):
+                for k in range(n):
+                    if fixed[k]:
+                        continue
+                    rate = demands[k]
+                    if not math.isfinite(rate):
+                        raise SimulationError(
+                            f"flow {flows[k].label!r} has unbounded rate")
+                    flows[k].rate = rate = rate if rate > 0.0 else 0.0
+                    for i, usage in paths[k]:
+                        left = avail[i] - rate * usage
+                        avail[i] = left if left > 0.0 else 0.0
+                    fixed[k] = True
+                    unfixed_left -= 1
+                break
+
+            demand_limited = [
+                k for k in range(n)
+                if not fixed[k] and demands[k] <= weights[k] * level * tol]
+            if demand_limited:
+                for k in demand_limited:
+                    rate = demands[k]
+                    flows[k].rate = rate = rate if rate > 0.0 else 0.0
+                    for i, usage in paths[k]:
+                        left = avail[i] - rate * usage
+                        avail[i] = left if left > 0.0 else 0.0
+                    fixed[k] = True
+                    unfixed_left -= 1
+                continue
+
+            guard = level * tol
+            froze = False
+            for i in range(n_res):
+                mem = members[i]
+                denom = 0.0
+                for k, prod in mem:
+                    if not fixed[k]:
+                        denom += prod
+                if denom <= 0:
+                    continue
+                if avail[i] / denom <= guard:
+                    for k, _prod in mem:
+                        if not fixed[k]:
+                            rate = weights[k] * level
+                            flows[k].rate = rate = rate if rate > 0.0 else 0.0
+                            for j, usage in paths[k]:
+                                left = avail[j] - rate * usage
+                                avail[j] = left if left > 0.0 else 0.0
+                            fixed[k] = True
+                            unfixed_left -= 1
+                            froze = True
+            if not froze:  # pragma: no cover - numerical safety net
+                for k in range(n):
+                    if not fixed[k]:
+                        rate = weights[k] * level
+                        flows[k].rate = rate = rate if rate > 0.0 else 0.0
+                        for i, usage in paths[k]:
+                            left = avail[i] - rate * usage
+                            avail[i] = left if left > 0.0 else 0.0
+                        fixed[k] = True
+                        unfixed_left -= 1
+
+    def _assign_rates_small_plan(self, touched: Dict[Resource, None],
+                                 plan: _SmallPlan) -> None:
+        """Progressive filling over a cached :class:`_SmallPlan`.
+
+        Same float operations as :meth:`_assign_rates_small` (and thus
+        the scalar reference), minus the per-solve rebuild of the
+        resource table and member/path lists.  Only capacities and
+        demands are read live.
+        """
+        for flow in plan.empty:
+            flow.rate = flow.demand
+        flows = plan.flows
+        n = len(flows)
+        if n == 0:
+            return
+        res_list = plan.resources
+        avail = [res.capacity for res in res_list]
+        for res in res_list:
+            touched[res] = None
+        members = plan.members
+        paths = plan.paths
+        n_res = len(res_list)
+        fixed = [False] * n
+        unfixed_left = n
+
+        while unfixed_left:
+            level = math.inf
+            for i in range(n_res):
+                denom = 0.0
+                for k, prod in members[i]:
+                    if not fixed[k]:
+                        denom += prod
+                if denom <= 0:
+                    continue
+                lvl = avail[i] / denom
+                if lvl < level:
+                    level = lvl
+            if not math.isfinite(level):
+                for k in range(n):
+                    if fixed[k]:
+                        continue
+                    flow = flows[k]
+                    if not math.isfinite(flow.demand):
+                        raise SimulationError(
+                            f"flow {flow.label!r} has unbounded rate")
+                    rate = flow.demand
+                    flow.rate = rate = rate if rate > 0.0 else 0.0
+                    for i, usage in paths[k]:
+                        left = avail[i] - rate * usage
+                        avail[i] = left if left > 0.0 else 0.0
+                    fixed[k] = True
+                    unfixed_left -= 1
+                break
+
+            demand_limited = [
+                k for k in range(n)
+                if not fixed[k]
+                and flows[k].demand <= flows[k].weight * level * (1 + _REL_TOL)]
+            if demand_limited:
+                for k in demand_limited:
+                    flow = flows[k]
+                    rate = flow.demand
+                    flow.rate = rate = rate if rate > 0.0 else 0.0
+                    for i, usage in paths[k]:
+                        left = avail[i] - rate * usage
+                        avail[i] = left if left > 0.0 else 0.0
+                    fixed[k] = True
+                    unfixed_left -= 1
+                continue
+
+            guard = level * (1 + _REL_TOL)
+            froze = False
+            for i in range(n_res):
+                mem = members[i]
+                denom = 0.0
+                for k, prod in mem:
+                    if not fixed[k]:
+                        denom += prod
+                if denom <= 0:
+                    continue
+                if avail[i] / denom <= guard:
+                    for k, _prod in mem:
+                        if not fixed[k]:
+                            flow = flows[k]
+                            rate = flow.weight * level
+                            flow.rate = rate = rate if rate > 0.0 else 0.0
+                            for ii, usage in paths[k]:
+                                left = avail[ii] - rate * usage
+                                avail[ii] = left if left > 0.0 else 0.0
+                            fixed[k] = True
+                            unfixed_left -= 1
+                            froze = True
+            if not froze:  # pragma: no cover - numerical safety net
+                for k in range(n):
+                    if not fixed[k]:
+                        flow = flows[k]
+                        rate = flow.weight * level
+                        flow.rate = rate = rate if rate > 0.0 else 0.0
+                        for i, usage in paths[k]:
+                            left = avail[i] - rate * usage
+                            avail[i] = left if left > 0.0 else 0.0
+                        fixed[k] = True
+                        unfixed_left -= 1
 
     def _assign_rates_scalar(self, dirty: List[Flow],
                              touched: Dict[Resource, None]) -> None:
@@ -909,7 +1428,7 @@ class FluidNetwork:
             # invariant *and* (when the dirty solve ran vectorized) the
             # scalar/vector bit-identity contract in one comparison.
             self._assign_rates_scalar(
-                sorted(self._flows, key=lambda f: f._seq), {})
+                sorted(self._flows, key=_SEQ_KEY), {})
             for flow, incremental in snapshot:
                 if flow.rate != incremental:
                     globally = flow.rate
@@ -954,7 +1473,24 @@ class FluidNetwork:
         """
         sim = self.sim
         now = sim.now
-        for flow in self._flows:
+        # Restricted pass: at an unchanged instant a flow with an
+        # unchanged rate recomputes a bitwise-identical ``when`` and
+        # would hit the handle.time == when no-op below, consuming no
+        # sequence number — so skipping it outright cannot perturb the
+        # heap.  Any time advance forces the full pass (see _advance).
+        cands = self._resched_candidates
+        if cands is None:
+            flows: Sequence[Flow] = self._flows
+            self._resched_candidates = {}
+        elif not cands:
+            return
+        elif len(cands) > 1:
+            flows = sorted(cands, key=_SEQ_KEY)
+            cands.clear()
+        else:
+            flows = list(cands)
+            cands.clear()
+        for flow in flows:
             if flow.size is None:
                 continue
             handle = flow._completion_handle
@@ -981,6 +1517,14 @@ class FluidNetwork:
     def _on_completion(self, flow: Flow) -> None:
         flow._completion_handle = None
         self._advance()
+        # Whatever happens next, this flow is the one whose completion
+        # state just moved: make sure the restricted same-instant scans
+        # consider it (its handle is gone, so the handle.time == when
+        # skip can no longer protect it).
+        if self._scan_candidates is not None:
+            self._scan_candidates[flow] = None
+        if self._resched_candidates is not None:
+            self._resched_candidates[flow] = None
         if not self._is_finished(flow):
             # Rates changed under us; reschedule this flow's completion.
             self._reschedule_completions()

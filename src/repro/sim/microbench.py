@@ -5,7 +5,7 @@ test_fluid_solver.py``) and ``repro bench`` so the committed
 ``BENCH_*.json`` baselines track the solver itself, not only the
 figure sweeps that happen to exercise it.
 
-Two shapes:
+Four shapes:
 
 * :func:`churn` — many small components (fig10-style: one bus per
   socket) under start/finish/capacity churn.  Components stay below
@@ -15,6 +15,10 @@ Two shapes:
   flows sharing a bus *and* a link) re-solved repeatedly under
   capacity wiggles.  Components sit above the threshold, so this
   guards the vectorized solver and its component-plan cache.
+* :func:`tiny_components` — 1–2-flow component churn, guarding the
+  PR 9 closed-form small-component fast path.
+* :func:`sampler_dense` — dense periodic sampling under activity
+  churn, guarding the PR 9 epoch-batched sampler.
 """
 
 from __future__ import annotations
@@ -23,8 +27,9 @@ from typing import Tuple
 
 from repro.sim.engine import Simulator
 from repro.sim.fluid import Flow, FluidNetwork, Resource
+from repro.sim.trace import PeriodicSampler
 
-__all__ = ["churn", "churn_wide"]
+__all__ = ["churn", "churn_wide", "sampler_dense", "tiny_components"]
 
 
 def churn(n_components: int = 16, per: int = 12,
@@ -53,6 +58,76 @@ def churn(n_components: int = 16, per: int = 12,
         sim.run()
         assert all(f.done.triggered for f in flows)
     return events, sim.now
+
+
+def tiny_components(n_components: int = 200, rounds: int = 60
+                    ) -> Tuple[int, float]:
+    """1–2-flow component churn (the fig10 per-socket regime).
+
+    Every component stays at one or two flows, so each solve takes the
+    closed-form small-component fast path (PR 9); the churn itself
+    (start/complete/capacity wiggles) exercises the dirty-component
+    bookkeeping and completion rescheduling around it.
+    """
+    sim = Simulator()
+    net = FluidNetwork(sim)
+    buses = [Resource(f"bus{i}", 100.0) for i in range(n_components)]
+    events = 0
+    for r in range(rounds):
+        flows = []
+        for i, bus in enumerate(buses):
+            flows.append(net.start_flow(Flow(
+                [bus], size=30.0 + (i % 7), demand=25.0)))
+            if i % 2:   # every other component gets a contending peer
+                flows.append(net.start_flow(Flow(
+                    [bus], size=18.0 + (i % 5), demand=40.0)))
+        events += len(flows)
+        sim.run(until=sim.now + 0.3)
+        for i, bus in enumerate(buses):
+            bus.set_capacity(85.0 + (r + i) % 30)
+            events += 1
+        sim.run()
+        assert all(f.done.triggered for f in flows)
+    return events, sim.now
+
+
+def sampler_dense(period: float = 1e-4, wiggles: int = 2000,
+                  gap: float = 2.3e-3) -> Tuple[int, float]:
+    """Dense periodic sampling of a frequency model under activity churn.
+
+    A :class:`~repro.sim.trace.PeriodicSampler` probes every core of a
+    ``henri`` machine at *period* while a driver toggles core activity
+    (the Figure-2 pattern).  With no telemetry sink installed the
+    sampler runs epoch-batched — this case pins the cost of the batch
+    emission path (and, under ``REPRO_SAMPLER_TICKS=1``, of the legacy
+    tick path it replaced).
+    """
+    from repro.hardware.frequency import CoreActivity, FrequencyModel
+    from repro.hardware.presets import get_preset
+
+    spec = get_preset("henri")
+    socket_of_core = {c: (0 if c < spec.n_cores // 2 else 1)
+                      for c in range(spec.n_cores)}
+    freq = FrequencyModel(spec, socket_of_core)
+    sim = Simulator()
+    probes = {f"core{c}": (lambda cid=c: freq.core_hz(cid) / 1e9)
+              for c in range(spec.n_cores)}
+    probes["uncore_s0"] = lambda: freq.uncore_hz(0) / 1e9
+    sampler = PeriodicSampler(sim, probes, period=period,
+                              epoch_sources=(freq,)).start()
+
+    def wiggle():
+        for k in range(wiggles):
+            core = k % spec.n_cores
+            freq.set_activity(core, CoreActivity.IDLE if k % 3 == 2
+                              else (CoreActivity.AVX512 if k % 3
+                                    else CoreActivity.SCALAR))
+            yield gap
+    sim.process(wiggle())
+    sim.run()
+    trace = sampler.stop()
+    samples = sum(len(trace.times(name)) for name in trace.names())
+    return samples, sim.now
 
 
 def churn_wide(per: int = 128, groups: int = 16, rounds: int = 6,

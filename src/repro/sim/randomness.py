@@ -17,6 +17,10 @@ import numpy as np
 
 __all__ = ["RandomStreams", "noisy"]
 
+# rel_sigma -> log1p(rel_sigma); specs use a handful of distinct noise
+# levels, and the memo returns the exact float np.log1p produced.
+_SIGMA_CACHE: Dict[float, float] = {}
+
 
 class RandomStreams:
     """A family of independent, reproducible RNG streams."""
@@ -52,6 +56,8 @@ def noisy(value: float, rel_sigma: float, rng: np.random.Generator) -> float:
     """
     if rel_sigma <= 0:
         return value
-    sigma = float(np.log1p(rel_sigma))
+    sigma = _SIGMA_CACHE.get(rel_sigma)
+    if sigma is None:
+        sigma = _SIGMA_CACHE[rel_sigma] = float(np.log1p(rel_sigma))
     factor = float(rng.lognormal(mean=-0.5 * sigma * sigma, sigma=sigma))
     return value * factor
