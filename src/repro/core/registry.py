@@ -48,6 +48,7 @@ PROVIDER_MODULES: Tuple[str, ...] = (
     "repro.core.multipair",
     "repro.core.gpu_experiments",
     "repro.core.ablations",
+    "repro.core.xapp",
 )
 
 _REGISTRY: Dict[str, "ExperimentDef"] = {}

@@ -19,6 +19,21 @@ Format (all tables optional except ``[scenario]``)::
     core_counts = [0, 12, 35]   # validated against its signature
     reps = 4
 
+    [topology]                  # cluster fabric (experiments accepting
+    kind = "dragonfly"          # a `topology` parameter, e.g. fig_xapp)
+    group_size = 8              # remaining keys: shape parameters
+
+    [[apps]]                    # co-scheduled applications (experiments
+    name = "victim"             # accepting an `apps` parameter); first
+    pattern = "pingpong"        # app is the victim/probe
+    nodes = [0, 8]
+
+    [[apps]]
+    name = "aggressor"
+    pattern = "ring"
+    nodes = [1, 2, 9, 10]
+    size = 4194304
+
     [faults]
     specs = ["link:src=0,dst=1,bw_factor=0.5,start=0,duration=1"]
     seed = 0                    # fault randomness seed
@@ -47,8 +62,8 @@ unknown experiments and parameters the experiment does not accept all
 fail with a :class:`ScenarioError` naming the offending field.
 
 Python 3.10 has no ``tomllib``; a deliberately small TOML-subset parser
-(tables, strings, numbers, booleans, flat arrays) covers the scenario
-schema there without adding a dependency.
+(tables, ``[[...]]`` arrays of tables, strings, numbers, booleans, flat
+arrays) covers the scenario schema there without adding a dependency.
 """
 
 from __future__ import annotations
@@ -133,17 +148,32 @@ def _parse_mini_toml(text: str, source: str) -> Dict[str, object]:
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
+        if stripped.startswith("[["):
+            if not stripped.endswith("]]"):
+                raise ScenarioError(
+                    f"{source}:{lineno}: malformed array-of-tables "
+                    f"header {stripped!r}")
+            name = stripped[2:-2].strip()
+            entries = doc.setdefault(name, [])
+            if not isinstance(entries, list):
+                raise ScenarioError(
+                    f"{source}:{lineno}: [[{name}]] conflicts with an "
+                    f"earlier [{name}] table")
+            table = {}
+            entries.append(table)
+            continue
         if stripped.startswith("["):
             if not stripped.endswith("]"):
                 raise ScenarioError(
                     f"{source}:{lineno}: malformed table header "
                     f"{stripped!r}")
             name = stripped[1:-1].strip()
-            if name.startswith("["):
+            existing = doc.setdefault(name, {})
+            if not isinstance(existing, dict):
                 raise ScenarioError(
-                    f"{source}:{lineno}: arrays of tables ([[...]]) are "
-                    f"not part of the scenario schema")
-            table = doc.setdefault(name, {})
+                    f"{source}:{lineno}: [{name}] conflicts with an "
+                    f"earlier [[{name}]] array of tables")
+            table = existing
             continue
         if "=" not in stripped:
             raise ScenarioError(
@@ -257,6 +287,71 @@ def _validate_params(experiment: str, params: Mapping[str, object],
                 f"{', '.join(valid)}")
 
 
+def _fold_topology(raw: object, source: str) -> Dict[str, object]:
+    """``[topology]`` table -> ``topology``/``topology_params`` params.
+
+    ::
+
+        [topology]
+        kind = "dragonfly"     # fullmesh | fattree | dragonfly | torus
+        group_size = 8         # remaining keys are shape parameters
+
+    Kind and parameter names are validated against the fabric catalog
+    here, at parse time, so a typo fails before any point runs.
+    """
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ScenarioError(
+            f"{source}: [topology] must be a table, got "
+            f"{type(raw).__name__}")
+    table = dict(raw)
+    kind = table.pop("kind", None)
+    if not isinstance(kind, str):
+        raise ScenarioError(
+            f"{source}: [topology] needs kind = \"<name>\" "
+            f"(fullmesh, fattree, dragonfly or torus)")
+    from repro.hardware.fabric import validate_topology_params
+    try:
+        validate_topology_params(kind, table)
+    except ValueError as err:
+        raise ScenarioError(f"{source}: [topology]: {err}") from None
+    out: Dict[str, object] = {"topology": kind}
+    if table:
+        out["topology_params"] = table
+    return out
+
+
+def _validate_apps(raw: object,
+                   source: str) -> Optional[List[Dict[str, object]]]:
+    """``[[apps]]`` tables -> the ``apps`` experiment parameter.
+
+    Each table is validated by building an
+    :class:`~repro.core.apps.AppSpec` (field names, pattern, placement
+    arity), so malformed app declarations fail at parse time.
+    """
+    if raw is None:
+        return None
+    if not isinstance(raw, list) or not all(
+            isinstance(entry, dict) for entry in raw):
+        raise ScenarioError(
+            f"{source}: apps must be declared as [[apps]] tables")
+    from repro.core.apps import AppSpec
+    out = []
+    for i, entry in enumerate(raw):
+        entry = dict(entry)
+        if "nodes" in entry and isinstance(entry["nodes"], list):
+            entry["nodes"] = tuple(entry["nodes"])
+        try:
+            AppSpec.from_dict(entry)
+        except (TypeError, ValueError) as err:
+            raise ScenarioError(
+                f"{source}: [[apps]] entry {i}: {err}") from None
+        entry["nodes"] = list(entry.get("nodes", ()))
+        out.append(entry)
+    return out
+
+
 def _validate_faults(specs: List[object], source: str) -> Tuple[str, ...]:
     from repro.faults import parse_fault
     out = []
@@ -283,12 +378,13 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
     if not isinstance(doc, dict):
         raise ScenarioError(f"{source}: scenario must be a TOML document")
     unknown = [k for k in doc
-               if k not in _SCHEMA and k != "params"]
+               if k not in _SCHEMA and k not in ("params", "topology",
+                                                 "apps")]
     if unknown:
         raise ScenarioError(
             f"{source}: unknown table(s) {', '.join(sorted(unknown))}; "
-            f"valid tables: [scenario], [params], [faults], [execution], "
-            f"[output]")
+            f"valid tables: [scenario], [params], [topology], [[apps]], "
+            f"[faults], [execution], [output]")
 
     scen = _check_table(doc, "scenario", source)
     if "experiment" not in scen:
@@ -305,6 +401,11 @@ def parse_scenario(text: str, source: str = "<scenario>") -> Scenario:
     params = doc.get("params", {})
     if not isinstance(params, dict):
         raise ScenarioError(f"{source}: [params] must be a table")
+    params = dict(params)
+    params.update(_fold_topology(doc.get("topology"), source))
+    apps = _validate_apps(doc.get("apps"), source)
+    if apps is not None:
+        params["apps"] = apps
     _validate_params(experiment, params, source)
 
     faults = _check_table(doc, "faults", source)

@@ -49,6 +49,11 @@ class FaultInjector:
         self._rng = RandomStreams(seed).stream("loss")
         self._dead: Set[int] = set()
         self._lat_factor: Dict[Tuple[int, int], float] = {}
+        # Latency factors for edge-addressed link faults, keyed by the
+        # fabric Resource (identity); applied to every route crossing
+        # the edge.  Empty unless a plan uses link=<label> targeting, so
+        # the pair-addressed fast path is untouched.
+        self._res_lat_factor: Dict[object, float] = {}
         self._loss_windows: List[MessageLoss] = []
         self._engines: List[object] = []      # ProtocolEngines to flush
         self._runtimes: List[object] = []     # RuntimeSystems to crash
@@ -133,27 +138,48 @@ class FaultInjector:
         self._note("end", fault)
 
     # -- degraded links ----------------------------------------------------
+    def _link_res(self, fault: DegradedLink):
+        """The fabric resource a link fault targets: an edge by label,
+        or the injection wire of the (src, dst) route."""
+        if fault.link is not None:
+            return self.cluster.find_link(fault.link)
+        return self.cluster.wire(fault.src, fault.dst)
+
     def _start_link(self, fault: DegradedLink) -> None:
-        wire = self.cluster.wire(fault.src, fault.dst)
+        wire = self._link_res(fault)
         if fault.bw_factor != 1.0:
             wire.set_capacity(wire.capacity * fault.bw_factor)
         if fault.latency_factor != 1.0:
-            key = (fault.src, fault.dst)
-            self._lat_factor[key] = (self._lat_factor.get(key, 1.0)
-                                     * fault.latency_factor)
+            if fault.link is not None:
+                self._res_lat_factor[wire] = (
+                    self._res_lat_factor.get(wire, 1.0)
+                    * fault.latency_factor)
+            else:
+                key = (fault.src, fault.dst)
+                self._lat_factor[key] = (self._lat_factor.get(key, 1.0)
+                                         * fault.latency_factor)
         self._note("start", fault)
 
     def _end_link(self, fault: DegradedLink) -> None:
-        wire = self.cluster.wire(fault.src, fault.dst)
+        wire = self._link_res(fault)
         if fault.bw_factor != 1.0:
             wire.set_capacity(wire.capacity / fault.bw_factor)
         if fault.latency_factor != 1.0:
-            key = (fault.src, fault.dst)
-            factor = self._lat_factor.get(key, 1.0) / fault.latency_factor
-            if abs(factor - 1.0) < 1e-12:
-                self._lat_factor.pop(key, None)
+            if fault.link is not None:
+                factor = (self._res_lat_factor.get(wire, 1.0)
+                          / fault.latency_factor)
+                if abs(factor - 1.0) < 1e-12:
+                    self._res_lat_factor.pop(wire, None)
+                else:
+                    self._res_lat_factor[wire] = factor
             else:
-                self._lat_factor[key] = factor
+                key = (fault.src, fault.dst)
+                factor = (self._lat_factor.get(key, 1.0)
+                          / fault.latency_factor)
+                if abs(factor - 1.0) < 1e-12:
+                    self._lat_factor.pop(key, None)
+                else:
+                    self._lat_factor[key] = factor
         self._note("end", fault)
 
     # -- loss windows -------------------------------------------------------
@@ -201,7 +227,14 @@ class FaultInjector:
         return set(self._dead)
 
     def link_latency_factor(self, src: int, dst: int) -> float:
-        return self._lat_factor.get((src, dst), 1.0)
+        factor = self._lat_factor.get((src, dst), 1.0)
+        if self._res_lat_factor:
+            res_factors = self._res_lat_factor
+            for res in self.cluster.route(src, dst):
+                f = res_factors.get(res)
+                if f is not None:
+                    factor *= f
+        return factor
 
     def _window_rate(self, src: int, dst: int, attr: str) -> float:
         """Combined rate of the active windows matching the link."""

@@ -35,14 +35,28 @@ class FailSlowCore:
 
 @dataclass(frozen=True)
 class DegradedLink:
-    """De-rate a directed wire: bandwidth and/or latency multipliers."""
+    """De-rate a fabric link: bandwidth and/or latency multipliers.
 
-    src: int
-    dst: int
+    Address the link either by directed node pair (``src``/``dst`` — the
+    injection wire of that route, the seed semantics) or by fabric edge
+    label (``link="ft.l0.up1"``, ``link="df.g0->g1"``, ... — any label
+    from the cluster topology's link catalog).  With ``link`` set the
+    latency multiplier applies to every route crossing that edge.
+    """
+
+    src: int = -1
+    dst: int = -1
     start: float = 0.0
     duration: float = math.inf
-    bw_factor: float = 1.0          # multiplier on wire capacity (<= 1)
+    bw_factor: float = 1.0          # multiplier on link capacity (<= 1)
     latency_factor: float = 1.0     # multiplier on wire latency (>= 1)
+    link: Optional[str] = None      # fabric edge label; overrides src/dst
+
+    def __post_init__(self):
+        if self.link is None and (self.src < 0 or self.dst < 0):
+            raise ValueError(
+                "DegradedLink needs either src+dst node ids or a "
+                "link=<fabric edge label>")
 
 
 @dataclass(frozen=True)
@@ -102,11 +116,14 @@ _KIND_OF_TYPE = {FailSlowCore: "fail_slow", DegradedLink: "degraded_link",
                  FailStop: "fail_stop", CrashWorker: "crash_worker"}
 
 _INT_FIELDS = {"node", "core", "src", "dst", "count", "worker_index"}
+_STR_FIELDS = {"link"}
 
 
 def _convert(key: str, value: str):
     if value in ("None", "none", ""):
         return None
+    if key in _STR_FIELDS:
+        return value
     if key in _INT_FIELDS:
         return int(value)
     if value == "inf":
@@ -157,12 +174,14 @@ class FaultPlan:
                                      start=start, duration=duration,
                                      core=core))
 
-    def degrade_link(self, src: int, dst: int, start: float = 0.0,
+    def degrade_link(self, src: int = -1, dst: int = -1, start: float = 0.0,
                      duration: float = math.inf, bw_factor: float = 1.0,
-                     latency_factor: float = 1.0) -> "FaultPlan":
+                     latency_factor: float = 1.0,
+                     link: Optional[str] = None) -> "FaultPlan":
         return self.add(DegradedLink(src=src, dst=dst, start=start,
                                      duration=duration, bw_factor=bw_factor,
-                                     latency_factor=latency_factor))
+                                     latency_factor=latency_factor,
+                                     link=link))
 
     def message_loss(self, loss_rate: float, start: float = 0.0,
                      duration: float = math.inf, src: Optional[int] = None,
@@ -221,11 +240,15 @@ class FaultPlan:
 
     # -- serialisation ------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
-            "seed": self.seed,
-            "faults": [dict(kind=_KIND_OF_TYPE[type(f)], **asdict(f))
-                       for f in self.faults],
-        }
+        faults = []
+        for f in self.faults:
+            entry = dict(kind=_KIND_OF_TYPE[type(f)], **asdict(f))
+            # Pair-addressed link faults serialise exactly as before the
+            # fabric-edge extension (no "link": None key).
+            if isinstance(f, DegradedLink) and f.link is None:
+                del entry["link"]
+            faults.append(entry)
+        return {"seed": self.seed, "faults": faults}
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":

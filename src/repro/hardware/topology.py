@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.hardware import fabric
 from repro.hardware.counters import CycleCounters
 from repro.hardware.frequency import CoreActivity, FrequencyModel
 from repro.hardware.presets import MachineSpec, get_preset
@@ -297,22 +298,39 @@ class Machine:
 
 
 class Cluster:
-    """Several machines joined by full-duplex point-to-point links.
+    """Several machines joined by a fabric topology.
 
-    By default links are independent (a non-blocking fabric, the
-    2-node case of the paper).  Passing ``switch_bw`` inserts a shared
-    switch resource that every transfer crosses, modelling an
-    oversubscribed fabric for >2-node studies.
+    By default the fabric is a :class:`~repro.hardware.fabric.FullMesh`
+    — independent full-duplex links per node pair (the 2-node case of
+    the paper); ``switch_bw`` adds its shared-switch resource.  Passing
+    ``topology`` (a kind name like ``"dragonfly"`` or a built-to-order
+    :class:`~repro.hardware.fabric.Topology` instance) swaps in a real
+    fabric: fat-tree, dragonfly, or torus, with per-link contention
+    solved by the same fluid network (see docs/CLUSTER.md).
     """
 
     def __init__(self, spec: MachineSpec | str, n_nodes: int = 2,
-                 seed: int = 0, switch_bw: Optional[float] = None):
+                 seed: int = 0, switch_bw: Optional[float] = None,
+                 topology=None):
         if isinstance(spec, str):
             spec = get_preset(spec)
         if n_nodes < 1:
             raise ValueError("cluster needs at least one node")
         if switch_bw is not None and switch_bw <= 0:
             raise ValueError("switch_bw must be > 0")
+        if topology is None:
+            topology = fabric.FullMesh(switch_bw=switch_bw)
+        else:
+            if switch_bw is not None:
+                raise ValueError(
+                    "switch_bw only applies to the default full-mesh "
+                    "fabric; size the topology's links instead")
+            if isinstance(topology, str):
+                topology = fabric.make_topology(topology)
+            elif not isinstance(topology, fabric.Topology):
+                raise ValueError(
+                    f"topology must be a kind name or a Topology "
+                    f"instance, got {topology!r}")
         self.spec = spec
         self.sim = Simulator()
         self.net = FluidNetwork(self.sim)
@@ -332,16 +350,10 @@ class Cluster:
                     rng=self.rng.spawn(f"node{i}"))
             for i in range(n_nodes)
         ]
-        self.switch: Optional[Resource] = (
-            Resource("switch", switch_bw) if switch_bw is not None
-            else None)
-        # One wire resource per *directed* pair: IB links are full duplex.
-        self._wires: Dict[Tuple[int, int], Resource] = {}
-        for a in range(n_nodes):
-            for b in range(n_nodes):
-                if a != b:
-                    self._wires[(a, b)] = Resource(
-                        f"wire{a}->{b}", spec.nic.wire_bw)
+        # The topology owns every fabric resource and the routing
+        # function; the full mesh reproduces the seed's per-pair wires
+        # byte-for-byte.
+        self.topology = topology.build(n_nodes, spec.nic.wire_bw)
         # Fault injection: arm the ambient fault plan, if one is
         # installed (see repro.faults.context).  Imported lazily so the
         # hardware layer has no hard dependency on the faults package.
@@ -359,15 +371,25 @@ class Cluster:
         if tele is not None:
             tele.bind_cluster(self)
 
-    def wire(self, src: int, dst: int) -> Resource:
-        return self._wires[(src, dst)]
+    @property
+    def switch(self) -> Optional[Resource]:
+        """The full mesh's shared switch resource, if configured."""
+        return getattr(self.topology, "switch", None)
 
-    def wire_path(self, src: int, dst: int) -> List[Resource]:
-        """All fabric resources a src->dst transfer crosses."""
-        path = [self._wires[(src, dst)]]
-        if self.switch is not None:
-            path.append(self.switch)
-        return path
+    def wire(self, src: int, dst: int) -> Resource:
+        """First fabric hop of the src->dst route (the injection link)."""
+        return self.topology.wire(src, dst)
+
+    def route(self, src: int, dst: int) -> List[Resource]:
+        """All fabric resources a src->dst transfer crosses, hop order."""
+        return self.topology.route(src, dst)
+
+    # Pre-topology name, kept for callers of the seed API.
+    wire_path = route
+
+    def find_link(self, label: str) -> Resource:
+        """Look up a fabric link by label (fault targeting)."""
+        return self.topology.find_link(label)
 
     def machine(self, node_id: int) -> Machine:
         return self.machines[node_id]

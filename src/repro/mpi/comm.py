@@ -10,7 +10,7 @@ parameter (§4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.hardware.frequency import CoreActivity
 from repro.hardware.memory import Buffer, allocate
@@ -41,7 +41,8 @@ class CommWorld:
 
     def __init__(self, cluster: Cluster,
                  comm_cores: Optional[Dict[int, int]] = None,
-                 comm_placement: str = "far"):
+                 comm_placement: str = "far",
+                 nodes: Optional[Sequence[int]] = None):
         """
         Parameters
         ----------
@@ -54,13 +55,30 @@ class CommWorld:
             thread to the last core of a NUMA node on the non-NIC socket
             (the paper's default in §4.2), ``"near"`` to the last core of
             the NIC's NUMA node.
+        nodes:
+            Rank->node placement: rank *i* lives on ``nodes[i]``.  Omit
+            for the seed behavior (one rank per cluster node, in node
+            order).  A subset lets several worlds — several
+            *applications* — share one cluster (see repro.core.apps).
         """
         if comm_placement not in ("near", "far"):
             raise ValueError("comm_placement must be 'near' or 'far'")
         self.cluster = cluster
         self.engine = ProtocolEngine(cluster)
+        if nodes is None:
+            machines = list(cluster.machines)
+        else:
+            nodes = list(nodes)
+            if len(set(nodes)) != len(nodes):
+                raise ValueError(f"duplicate node ids in placement {nodes}")
+            if any(not 0 <= n < len(cluster) for n in nodes):
+                raise ValueError(
+                    f"placement {nodes} names nodes outside this "
+                    f"{len(cluster)}-node cluster "
+                    f"(valid ids: 0..{len(cluster) - 1})")
+            machines = [cluster.machine(n) for n in nodes]
         self.ranks: List[Rank] = []
-        for machine in cluster.machines:
+        for machine in machines:
             if comm_cores is not None:
                 core = comm_cores[machine.node_id]
             elif comm_placement == "near":
@@ -79,8 +97,14 @@ class CommWorld:
     def sim(self):
         return self.cluster.sim
 
-    def rank(self, node_id: int) -> Rank:
-        return self.ranks[node_id]
+    def rank(self, index: int) -> Rank:
+        """Rank by *world index* (== node id for the default placement)."""
+        return self.ranks[index]
+
+    @property
+    def nodes(self) -> List[int]:
+        """The rank->node placement, world order."""
+        return [r.node_id for r in self.ranks]
 
     def rebind_comm_core(self, node_id: int, core: int) -> None:
         """Move a rank's communication thread to another core."""

@@ -89,7 +89,7 @@ class P2PContext:
         self._pending_sends: Dict[Tuple[int, int, int], Deque[Request]] = {}
         self._pending_recvs: Dict[Tuple[int, int, int], Deque[Request]] = {}
         self._queues: Dict[int, _SerialQueue] = {
-            r.node_id: _SerialQueue(self.sim) for r in world.ranks}
+            i: _SerialQueue(self.sim) for i in range(len(world.ranks))}
         self.transfers: List[TransferRecord] = []
         self.failures: List[BaseException] = []
 
@@ -112,9 +112,9 @@ class P2PContext:
         self._match(req)
         return req
 
-    def send_backlog(self, node_id: int) -> int:
-        """Transfers queued on *node_id*'s communication thread."""
-        return self._queues[node_id].backlog
+    def send_backlog(self, rank: int) -> int:
+        """Transfers queued on rank *rank*'s communication thread."""
+        return self._queues[rank].backlog
 
     def cancel(self, req: Request) -> bool:
         """Withdraw an *unmatched* request.

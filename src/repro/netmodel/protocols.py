@@ -109,6 +109,9 @@ class ProtocolEngine:
         # polling workers, §5.4).
         self.extra_delay_send = 0.0
         self.extra_delay_recv = 0.0
+        # Owning application's name under multi-app co-scheduling (see
+        # repro.core.apps); labels telemetry samples/metrics per app.
+        self.app: Optional[str] = None
 
     # ------------------------------------------------------------------
     def half_transfer(
@@ -170,7 +173,8 @@ class ProtocolEngine:
             post_dst = dst_ctr.totals()
             record.mem_stall_overlap += post_dst.mem_stall - pre_dst.mem_stall
             record.busy_overlap += post_dst.busy - pre_dst.busy
-        tele.on_transfer(self.cluster, src_node, dst_node, record)
+        tele.on_transfer(self.cluster, src_node, dst_node, record,
+                         app=self.app)
         return record
 
     # ------------------------------------------------------------------
@@ -222,6 +226,11 @@ class ProtocolEngine:
                    * dst_m.spec.interconnect.hop_latency)
 
         wire_lat = self._wire_latency(src_node, dst_node, spec.wire_latency)
+        # Multi-hop fabrics add a per-switch-traversal latency; exactly
+        # 0.0 on the full mesh, keeping the seed arithmetic untouched.
+        fabric_lat = self.cluster.topology.extra_latency(src_node, dst_node)
+        if fabric_lat:
+            wire_lat += fabric_lat
 
         # --- in flight ----------------------------------------------------
         if size <= spec.eager_threshold:
@@ -400,7 +409,7 @@ class ProtocolEngine:
         # path order-preservingly.
         path = (src_m.load_path(src_core, src_buf.numa_id)
                 + [src_m.pcie]
-                + self.cluster.wire_path(src_m.node_id, dst_m.node_id)
+                + self.cluster.route(src_m.node_id, dst_m.node_id)
                 + [dst_m.pcie,
                    dst_m.numa_nodes[dst_buf.numa_id].controller])
         return self.net.transfer(
@@ -414,7 +423,7 @@ class ProtocolEngine:
         src_path = src_m.dma_path(src_buf.numa_id)
         dst_path = list(reversed(dst_m.dma_path(dst_buf.numa_id)))
         path = (src_path
-                + self.cluster.wire_path(src_m.node_id, dst_m.node_id)
+                + self.cluster.route(src_m.node_id, dst_m.node_id)
                 + dst_path)
         usage = {
             src_m.numa_nodes[src_buf.numa_id].controller: spec.dma_usage,

@@ -61,8 +61,9 @@ class _Binding:
         self.index = index
         self.base = _PID_BLOCK * index
         self.fabric = self.base + _FABRIC_OFF
-        # [(src, dst, Resource)] — wire lanes, in (src, dst) order.
-        self.wires: List[Tuple[int, int, object]] = []
+        # [(label, Resource)] — fabric link lanes, in the topology's
+        # catalog order (full mesh: wire{a}->{b} sorted by (a, b)).
+        self.wires: List[Tuple[str, object]] = []
         # Resource -> lane index, the inverse of `wires` (resources
         # hash by identity).  Lets the rate-change sampler visit only
         # the dirty wires instead of scanning every lane per solve.
@@ -101,9 +102,8 @@ class Telemetry:
     def bind_cluster(self, cluster) -> None:
         """Register *cluster*'s nodes and wires as trace lanes."""
         binding = self._binding_for_net(cluster.net)
-        binding.wires = [(a, b, res) for (a, b), res
-                         in sorted(cluster._wires.items())]  # noqa: SLF001
-        binding.lane_by_res = {res: lane for lane, (_a, _b, res)
+        binding.wires = list(cluster.topology.links())
+        binding.lane_by_res = {res: lane for lane, (_label, res)
                                in enumerate(binding.wires)}
         if self.registry is not None:
             self.registry.counter("clusters.built").inc()
@@ -121,8 +121,8 @@ class Telemetry:
                 tracer.name_thread(pid, core.id, f"core{core.id}")
         tracer.name_process(binding.fabric, f"{prefix}.fabric")
         tracer.name_thread(binding.fabric, FAULT_TID, "faults")
-        for lane, (a, b, _res) in enumerate(binding.wires):
-            tracer.name_thread(binding.fabric, lane, f"wire{a}->{b}")
+        for lane, (label, _res) in enumerate(binding.wires):
+            tracer.name_thread(binding.fabric, lane, label)
 
     def _binding_for_net(self, net) -> _Binding:
         binding = self._bindings.get(id(net))
@@ -183,7 +183,7 @@ class Telemetry:
         binding = self._bindings.get(id(net))
         if binding is None or not binding.wires:
             return
-        for lane, (_a, _b, res) in enumerate(binding.wires):
+        for lane, (_label, res) in enumerate(binding.wires):
             if res in flow.resources:
                 args = {"bytes": flow.transferred}
                 if aborted:
@@ -234,9 +234,9 @@ class Telemetry:
         if prime or dirty_resources is None:
             lanes = range(len(binding.wires))
         else:
-            # Visit only the dirty wires, in lane order — `wires` is
-            # sorted by (src, dst), so sorting the lane indices restores
-            # exactly the emission order the full scan produced.
+            # Visit only the dirty links, in lane order — `wires` keeps
+            # the topology's catalog order, so sorting the lane indices
+            # restores exactly the emission order the full scan produced.
             lane_by_res = binding.lane_by_res
             hits = [lane for res in dirty_resources
                     if (lane := lane_by_res.get(res)) is not None]
@@ -244,28 +244,35 @@ class Telemetry:
             lanes = hits
         wires = binding.wires
         for lane in lanes:
-            a, b, res = wires[lane]
+            label, res = wires[lane]
             bw = net.utilization(res) * res.capacity
-            tracer.counter(binding.fabric, f"wire{a}->{b} GB/s", now,
+            tracer.counter(binding.fabric, f"{label} GB/s", now,
                            bw / 1e9)
 
     # -- protocol engine -----------------------------------------------------
     def on_transfer(self, cluster, src_node: int, dst_node: int,
-                    record) -> None:
-        """A message was delivered (records carry overlap cycle deltas)."""
+                    record, app: Optional[str] = None) -> None:
+        """A message was delivered (records carry overlap cycle deltas).
+
+        *app* is the owning application's name when the engine belongs
+        to a co-scheduled :class:`~repro.core.apps.Application`; metric
+        label sets (and hence exports) only grow an ``app=`` label when
+        one is set, so single-app runs stay byte-identical.
+        """
         registry = self.registry
         if registry is not None:
-            registry.counter("net.transfers",
-                             protocol=record.protocol).inc()
-            registry.counter("net.bytes",
-                             protocol=record.protocol).inc(record.size)
+            labels = {"protocol": record.protocol}
+            if app is not None:
+                labels["app"] = app
+            registry.counter("net.transfers", **labels).inc()
+            registry.counter("net.bytes", **labels).inc(record.size)
             registry.histogram("net.transfer_seconds",
-                               protocol=record.protocol
-                               ).observe(record.duration)
+                               **labels).observe(record.duration)
             if record.retries:
                 registry.counter("net.retransmits").inc(record.retries)
         sample = TransferSample(
-            t=record.end, run=self.run_label, src=src_node, dst=dst_node,
+            t=record.end, run=app if app is not None else self.run_label,
+            src=src_node, dst=dst_node,
             size=record.size, protocol=record.protocol,
             duration=record.duration, bandwidth=record.bandwidth,
             mem_stall=record.mem_stall_overlap,
@@ -274,13 +281,15 @@ class Telemetry:
         tracer = self.tracer
         if tracer is not None:
             binding = self._binding_for_net(cluster.net)
+            args = {"size": record.size, "dst": dst_node,
+                    "retries": record.retries,
+                    "stall_overlap": round(record.mem_stall_overlap, 9)}
+            if app is not None:
+                args["app"] = app
             tracer.complete(
                 binding.base + src_node, NIC_TID,
                 f"{record.protocol} {record.size}B", "transfer",
-                record.start, record.end,
-                {"size": record.size, "dst": dst_node,
-                 "retries": record.retries,
-                 "stall_overlap": round(record.mem_stall_overlap, 9)})
+                record.start, record.end, args)
 
     def on_retransmit(self, cluster, src_node: int, dst_node: int,
                       size: int, reason: str, timeouts: int) -> None:

@@ -22,7 +22,7 @@ links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -154,7 +154,9 @@ def run_cg(spec: MachineSpec | str = "henri", n: int = 120_000,
            polling: Optional[PollingSpec] = None,
            autotune: bool = False,
            scheduler: str = "eager",
-           seed: int = 0) -> CGResult:
+           seed: int = 0,
+           cluster: Optional[Cluster] = None,
+           nodes: Sequence[int] = (0, 1)) -> CGResult:
     """Run distributed CG on two simulated nodes; returns §6's metrics.
 
     ``tile_rows`` defaults to a partition fine enough to feed every
@@ -162,17 +164,25 @@ def run_cg(spec: MachineSpec | str = "henri", n: int = 120_000,
     count regardless of how many workers are enabled).  With
     ``autotune=True`` a :class:`~repro.runtime.autotune.WorkerAutotuner`
     controls each node's active worker count (the paper's §8 proposal).
+    Pass an existing *cluster* (and a two-node *nodes* placement) to run
+    on a shared fabric next to other applications (see repro.core.apps).
     """
     if n % 2:
         raise ValueError("n must be even (block-row distribution)")
-    machine_spec = get_preset(spec) if isinstance(spec, str) else spec
+    nodes = tuple(nodes)
+    if len(nodes) != 2:
+        raise ValueError("CG is two-rank: nodes must name 2 nodes")
+    if cluster is None:
+        machine_spec = get_preset(spec) if isinstance(spec, str) else spec
+        cluster = Cluster(machine_spec, n_nodes=max(nodes) + 1, seed=seed)
+    else:
+        machine_spec = cluster.spec
     if tile_rows is None:
         tile_rows = max(200, (n // 2) // (2 * machine_spec.n_cores))
-    cluster = Cluster(machine_spec, n_nodes=2, seed=seed)
-    world = CommWorld(cluster, comm_placement="far")
+    world = CommWorld(cluster, comm_placement="far", nodes=nodes)
     runtimes = {}
     for r in (0, 1):
-        sched = _make_scheduler(scheduler, polling, cluster.machine(r))
+        sched = _make_scheduler(scheduler, polling, world.rank(r).machine)
         runtimes[r] = RuntimeSystem(world, r, n_workers=n_workers,
                                     polling=polling, scheduler=sched)
     comm = RuntimeComm(world, runtimes)
@@ -184,9 +194,10 @@ def run_cg(spec: MachineSpec | str = "henri", n: int = 120_000,
         tuners = [WorkerAutotuner(rt, comm=comm).start()
                   for rt in runtimes.values()]
 
-    data = {r: _build_rank_data(cluster.machine(r), r, n, tile_rows)
+    data = {r: _build_rank_data(world.rank(r).machine, r, n, tile_rows)
             for r in (0, 1)}
-    snapshots = {r: cluster.machine(r).counters.snapshot() for r in (0, 1)}
+    snapshots = {r: world.rank(r).machine.counters.snapshot()
+                 for r in (0, 1)}
     t0 = cluster.sim.now
     drivers = [cluster.sim.process(
         _driver(r, 1 - r, runtimes[r], comm, data[r], n, tile_rows,
@@ -212,7 +223,7 @@ def run_cg(spec: MachineSpec | str = "henri", n: int = 120_000,
                     for w in rt.workers]
     stalls = []
     for r in (0, 1):
-        machine = cluster.machine(r)
+        machine = world.rank(r).machine
         agg = machine.counters.delta(snapshots[r])
         denom = duration * len(machine.cores)
         if denom > 0:

@@ -14,7 +14,7 @@ memory-stall cycles and ~20 % sending-bandwidth loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -121,23 +121,35 @@ def run_gemm(spec: MachineSpec | str = "henri", n: int = 4096,
              tile: int = 128, n_workers: Optional[int] = None,
              polling: Optional[PollingSpec] = None,
              scheduler: str = "eager",
-             seed: int = 0) -> GEMMResult:
-    """Run distributed GEMM on two simulated nodes; returns §6 metrics."""
+             seed: int = 0,
+             cluster: Optional[Cluster] = None,
+             nodes: Sequence[int] = (0, 1)) -> GEMMResult:
+    """Run distributed GEMM on two simulated nodes; returns §6 metrics.
+
+    Pass an existing *cluster* (and a two-node *nodes* placement) to run
+    on a shared fabric — e.g. one rank pair of a larger topology, next
+    to other applications (see repro.core.apps).
+    """
     if n % 2 or n % tile:
         raise ValueError("n must be even and a multiple of the tile size")
-    machine_spec = get_preset(spec) if isinstance(spec, str) else spec
-    cluster = Cluster(machine_spec, n_nodes=2, seed=seed)
-    world = CommWorld(cluster, comm_placement="far")
+    nodes = tuple(nodes)
+    if len(nodes) != 2:
+        raise ValueError("GEMM is two-rank: nodes must name 2 nodes")
+    if cluster is None:
+        machine_spec = get_preset(spec) if isinstance(spec, str) else spec
+        cluster = Cluster(machine_spec, n_nodes=max(nodes) + 1, seed=seed)
+    world = CommWorld(cluster, comm_placement="far", nodes=nodes)
     runtimes = {}
     for r in (0, 1):
-        sched = _make_scheduler(scheduler, polling, cluster.machine(r))
+        sched = _make_scheduler(scheduler, polling, world.rank(r).machine)
         runtimes[r] = RuntimeSystem(world, r, n_workers=n_workers,
                                     polling=polling, scheduler=sched)
     comm = RuntimeComm(world, runtimes)
     for rt in runtimes.values():
         rt.start()
 
-    snapshots = {r: cluster.machine(r).counters.snapshot() for r in (0, 1)}
+    snapshots = {r: world.rank(r).machine.counters.snapshot()
+                 for r in (0, 1)}
     t0 = cluster.sim.now
     drivers = [cluster.sim.process(
         _driver(r, 1 - r, runtimes[r], comm, n, tile)) for r in (0, 1)]
@@ -152,7 +164,7 @@ def run_gemm(spec: MachineSpec | str = "henri", n: int = 4096,
 
     stalls = []
     for r in (0, 1):
-        machine = cluster.machine(r)
+        machine = world.rank(r).machine
         agg = machine.counters.delta(snapshots[r])
         denom = duration * len(machine.cores)
         if denom > 0:

@@ -59,7 +59,7 @@ def test_stop_flow_closes_wire_span_with_aborted_flag():
     from repro.hardware import Cluster, HENRI
     with telemetry_context() as tele:
         cluster = Cluster(HENRI, 2)
-        wire = cluster._wires[(0, 1)]  # noqa: SLF001 - test introspection
+        wire = cluster.wire(0, 1)
         bg = cluster.net.start_flow(Flow([wire], size=None, label="bg"))
         cluster.sim.run(until=0.1)
         cluster.net.stop_flow(bg)

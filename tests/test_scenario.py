@@ -177,8 +177,10 @@ def test_example_scenarios_validate(path):
     scen = load_scenario(str(path))
     assert scen.fast, f"{path.name} should use --fast for CI"
     # Every example demonstrates at least one layered capability on
-    # top of the base experiment (a fault plan or multi-seed trials).
-    assert scen.fault_specs or (scen.trials or 1) > 1
+    # top of the base experiment (a fault plan, multi-seed trials, or
+    # a topology/co-scheduling configuration).
+    assert (scen.fault_specs or (scen.trials or 1) > 1
+            or "topology" in scen.params or "apps" in scen.params)
 
 
 def test_mini_toml_parser_matches_schema_subset():
@@ -200,8 +202,12 @@ def test_mini_toml_parser_rejects_garbage():
         _parse_mini_toml("[scenario]\nnot a kv line\n", "<t>")
     with pytest.raises(ScenarioError, match="cannot parse"):
         _parse_mini_toml("[scenario]\nx = {a = 1}\n", "<t>")
-    with pytest.raises(ScenarioError, match="arrays of tables"):
-        _parse_mini_toml("[[faults]]\n", "<t>")
+    # [[name]] arrays of tables parse, but clash with a plain [name].
+    doc = _parse_mini_toml("[[apps]]\nname = 'a'\n[[apps]]\nname = 'b'\n",
+                           "<t>")
+    assert [t["name"] for t in doc["apps"]] == ["a", "b"]
+    with pytest.raises(ScenarioError, match="conflicts"):
+        _parse_mini_toml("[apps]\nx = 1\n[[apps]]\ny = 2\n", "<t>")
 
 
 def test_scenario_runs_end_to_end(tmp_path, monkeypatch, capsys):
